@@ -1,0 +1,83 @@
+// Design ablations for the two adaptive mechanisms of PHFTL:
+//
+//  1. Adaptive labeling threshold (Algorithm 1, Fig. 2) vs a fixed
+//     threshold, on a phase-shifting workload — the case adaptivity exists
+//     for. A fixed threshold frozen at the first window's inflection point
+//     cannot follow the workload when the hot set rotates.
+//  2. GC victim policy (Eq. 1): Adjusted Greedy vs plain Greedy vs
+//     Cost-Benefit, on representative traces.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace phftl;
+
+/// PHFTL with the threshold frozen at the first window's inflection point
+/// (re-anchoring and the percentile walk both disabled).
+core::PhftlConfig ablation_config(const FtlConfig& cfg, bool adaptive) {
+  core::PhftlConfig pcfg = core::default_phftl_config(cfg);
+  if (!adaptive) {
+    pcfg.trainer.threshold.reanchor = false;
+    pcfg.trainer.threshold.freeze_after_first_window = true;
+  }
+  return pcfg;
+}
+
+}  // namespace
+
+int main() {
+  const double drive_writes = drive_writes_from_env(6.0);
+
+  // --- Part 1: adaptive vs frozen threshold on phase-shift traces ---
+  std::printf("Ablation 1: adaptive threshold (Algorithm 1) vs frozen "
+              "threshold,\nphase-shifting traces, %.1f drive writes\n\n",
+              drive_writes);
+  TextTable t1;
+  t1.header({"trace", "WA adaptive", "WA frozen", "acc adaptive",
+             "acc frozen"});
+  for (const char* id : {"#107", "#225", "#748"}) {
+    const auto& spec = suite_spec(id);
+    const Trace trace = make_suite_trace(spec, drive_writes);
+    double wa[2], acc[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      core::PhftlFtl ftl(ablation_config(suite_ftl_config(spec), mode == 0));
+      for (const auto& r : trace.ops) ftl.submit(r);
+      ftl.finalize_evaluation();
+      wa[mode] = ftl.stats().write_amplification();
+      acc[mode] = ftl.classifier_metrics().accuracy();
+    }
+    t1.row({id, TextTable::pct(wa[0]), TextTable::pct(wa[1]),
+            TextTable::num(acc[0]), TextTable::num(acc[1])});
+    std::fflush(stdout);
+  }
+  t1.render(std::cout);
+
+  // --- Part 2: GC policy ablation ---
+  std::printf("\nAblation 2: GC victim policy (Eq. 1), %.1f drive writes\n\n",
+              drive_writes);
+  TextTable t2;
+  t2.header({"trace", "AdjustedGreedy", "Greedy", "CostBenefit"});
+  for (const char* id : {"#52", "#141", "#144", "#721"}) {
+    const auto& spec = suite_spec(id);
+    const Trace trace = make_suite_trace(spec, drive_writes);
+    std::vector<std::string> row{id};
+    for (const auto policy : {core::PhftlConfig::GcPolicy::kAdjustedGreedy,
+                              core::PhftlConfig::GcPolicy::kGreedy,
+                              core::PhftlConfig::GcPolicy::kCostBenefit}) {
+      core::PhftlConfig pcfg =
+          core::default_phftl_config(suite_ftl_config(spec));
+      pcfg.gc_policy = policy;
+      core::PhftlFtl ftl(pcfg);
+      for (const auto& r : trace.ops) ftl.submit(r);
+      row.push_back(TextTable::pct(ftl.stats().write_amplification()));
+      std::fflush(stdout);
+    }
+    t2.row(row);
+  }
+  t2.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared runner for the trace-suite benchmarks (Fig. 5, Table I, cache).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/base_ftl.hpp"
+#include "baselines/sepbit.hpp"
+#include "baselines/two_r.hpp"
+#include "core/phftl.hpp"
+#include "trace/alibaba_suite.hpp"
+
+namespace phftl::bench {
+
+struct SuiteRunResult {
+  std::string trace_id;
+  std::string scheme;
+  double wa = 0.0;
+  FtlStats stats;
+  // PHFTL-only extras:
+  ConfusionMatrix classifier;
+  double cache_hit_rate = 0.0;
+  std::int64_t threshold = -1;
+  std::uint64_t windows = 0;
+};
+
+inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
+                                            const FtlConfig& cfg,
+                                            std::uint32_t history_len = 8) {
+  if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
+  if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
+  if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
+  core::PhftlConfig pcfg = core::default_phftl_config(cfg);
+  pcfg.trainer.history_len = history_len;
+  return std::make_unique<core::PhftlFtl>(pcfg);
+}
+
+/// Replay one suite trace under one scheme and collect everything the
+/// benchmarks report.
+inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
+                                      const std::string& scheme,
+                                      double drive_writes,
+                                      std::uint32_t history_len = 8) {
+  const FtlConfig cfg = suite_ftl_config(spec);
+  const Trace trace = make_suite_trace(spec, drive_writes);
+  auto ftl = make_scheme(scheme, cfg, history_len);
+  for (const auto& req : trace.ops) ftl->submit(req);
+
+  SuiteRunResult res;
+  res.trace_id = spec.id;
+  res.scheme = scheme;
+  res.stats = ftl->stats();
+  res.wa = res.stats.write_amplification();
+  if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
+    phftl->finalize_evaluation();
+    res.classifier = phftl->classifier_metrics();
+    res.cache_hit_rate = phftl->meta_store().cache_hit_rate();
+    res.threshold = phftl->threshold();
+    res.windows = phftl->trainer().windows_completed();
+  }
+  return res;
+}
+
+}  // namespace phftl::bench

@@ -1,0 +1,66 @@
+// Figure 6 reproduction: effect of off-critical-path prediction on write
+// latency.
+//
+// The paper's microbenchmark issues fio writes of 4 KB–1 MB with offsets
+// capped to the OpenSSD's 16 MB RAM data buffer (no flash programs), so the
+// FTL is stressed to the extreme. Three configurations:
+//   Stock            — no prediction,
+//   PHFTL-hw (sync)  — prediction on the critical path (one core),
+//   PHFTL-hw         — interleaved prediction + decoupled completion.
+// Paper: sync inflates latency 139.7% on average; async returns it to stock
+// levels with a slightly higher standard deviation.
+#include <cstdio>
+#include <iostream>
+
+#include "device/controller.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace phftl;
+
+  constexpr int kRequests = 20000;
+  const std::uint32_t sizes_kb[] = {4, 16, 64, 256, 1024};
+
+  std::printf("Figure 6: write latency vs request size (buffered writes, "
+              "%d requests per point)\n\n", kRequests);
+
+  TextTable table;
+  table.header({"size", "Stock (us)", "sd", "PHFTL-sync (us)", "sd",
+                "PHFTL (us)", "sd", "sync inflation"});
+
+  double inflation_sum = 0.0;
+  for (const std::uint32_t kb : sizes_kb) {
+    RunningStats stats[3];
+    const PredictionMode modes[] = {PredictionMode::kStock,
+                                    PredictionMode::kSync,
+                                    PredictionMode::kAsync};
+    for (int m = 0; m < 3; ++m) {
+      ControllerConfig cfg;
+      cfg.mode = modes[m];
+      ControllerModel model(cfg, /*seed=*/kb * 7 + m);
+      for (int i = 0; i < kRequests; ++i)
+        stats[m].add(static_cast<double>(model.write_latency_ns(kb)) * 1e-3);
+    }
+    const double inflation = stats[1].mean() / stats[0].mean() - 1.0;
+    inflation_sum += inflation;
+    const std::string label = kb >= 1024
+                                  ? std::to_string(kb / 1024) + "MB"
+                                  : std::to_string(kb) + "KB";
+    table.row({label, TextTable::num(stats[0].mean(), 1),
+               TextTable::num(stats[0].stddev(), 2),
+               TextTable::num(stats[1].mean(), 1),
+               TextTable::num(stats[1].stddev(), 2),
+               TextTable::num(stats[2].mean(), 1),
+               TextTable::num(stats[2].stddev(), 2),
+               TextTable::num(inflation * 100.0, 1) + "%"});
+  }
+  table.render(std::cout);
+
+  std::printf(
+      "\nPaper: sync prediction inflates latency by 139.7%% on average; "
+      "off-critical-path prediction\nreturns it to stock level with higher "
+      "standard deviation.\nMeasured average sync inflation: %.1f%%\n",
+      inflation_sum / 5.0 * 100.0);
+  return 0;
+}

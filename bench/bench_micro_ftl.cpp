@@ -1,0 +1,115 @@
+// FTL path micro-benchmarks (google-benchmark).
+//
+// Measures the simulator's per-operation costs: the host write path for
+// each scheme (including PHFTL's feature extraction + int8 prediction +
+// metadata staging), the read path, and metadata-cache operations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/base_ftl.hpp"
+#include "baselines/sepbit.hpp"
+#include "baselines/two_r.hpp"
+#include "core/meta.hpp"
+#include "core/phftl.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace phftl;
+
+FtlConfig bench_config() {
+  FtlConfig cfg;
+  cfg.geom.num_dies = 8;
+  cfg.geom.blocks_per_die = 96;
+  cfg.geom.pages_per_block = 16;
+  cfg.geom.page_size = 16 * 1024;
+  cfg.op_ratio = 0.07;
+  return cfg;
+}
+
+std::unique_ptr<FtlBase> make(const std::string& scheme) {
+  const FtlConfig cfg = bench_config();
+  if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
+  if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
+  if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
+  return std::make_unique<core::PhftlFtl>(
+      core::default_phftl_config(cfg));
+}
+
+void write_path(benchmark::State& state, const std::string& scheme) {
+  auto ftl = make(scheme);
+  Xoshiro256 rng(1);
+  // Warm up: fill the drive once so GC participates in the steady state.
+  WriteContext ctx;
+  for (std::uint64_t i = 0; i < ftl->logical_pages(); ++i)
+    ftl->write_page(i % ftl->logical_pages(), ctx);
+  const std::uint64_t hot = ftl->logical_pages() / 64;
+  for (auto _ : state) {
+    const Lpn lpn = rng.next_bool(0.8)
+                        ? rng.next_below(hot)
+                        : rng.next_below(ftl->logical_pages());
+    ftl->write_page(lpn, ctx);
+  }
+  state.counters["WA"] = ftl->stats().write_amplification();
+}
+
+void BM_WritePath_Base(benchmark::State& s) { write_path(s, "Base"); }
+void BM_WritePath_2R(benchmark::State& s) { write_path(s, "2R"); }
+void BM_WritePath_SepBIT(benchmark::State& s) { write_path(s, "SepBIT"); }
+void BM_WritePath_PHFTL(benchmark::State& s) { write_path(s, "PHFTL"); }
+BENCHMARK(BM_WritePath_Base);
+BENCHMARK(BM_WritePath_2R);
+BENCHMARK(BM_WritePath_SepBIT);
+BENCHMARK(BM_WritePath_PHFTL);
+
+void BM_ReadPath(benchmark::State& state) {
+  auto ftl = make("Base");
+  WriteContext ctx;
+  for (std::uint64_t i = 0; i < ftl->logical_pages(); ++i)
+    ftl->write_page(i, ctx);
+  Xoshiro256 rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ftl->read_page(rng.next_below(ftl->logical_pages())));
+}
+BENCHMARK(BM_ReadPath);
+
+void BM_MetaCacheLookup(benchmark::State& state) {
+  core::MetaStore::Config cfg;
+  cfg.geom = bench_config().geom;
+  core::MetaStore store(cfg);
+  Xoshiro256 rng(3);
+  const std::uint64_t data_pages = store.data_pages_per_superblock();
+  bool missed;
+  for (auto _ : state) {
+    const std::uint64_t sb = rng.next_below(cfg.geom.num_superblocks());
+    const std::uint64_t off = rng.next_below(data_pages);
+    benchmark::DoNotOptimize(
+        store.get(cfg.geom.make_ppn(sb, off), false, &missed));
+  }
+  state.counters["hit_rate"] = store.cache_hit_rate();
+}
+BENCHMARK(BM_MetaCacheLookup);
+
+void BM_MetaCacheSequentialLookup(benchmark::State& state) {
+  core::MetaStore::Config cfg;
+  cfg.geom = bench_config().geom;
+  core::MetaStore store(cfg);
+  std::uint64_t i = 0;
+  const std::uint64_t data_pages = store.data_pages_per_superblock();
+  bool missed;
+  for (auto _ : state) {
+    const std::uint64_t sb = (i / data_pages) % cfg.geom.num_superblocks();
+    const std::uint64_t off = i % data_pages;
+    benchmark::DoNotOptimize(
+        store.get(cfg.geom.make_ppn(sb, off), false, &missed));
+    ++i;
+  }
+  state.counters["hit_rate"] = store.cache_hit_rate();
+}
+BENCHMARK(BM_MetaCacheSequentialLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Trace replay tool: run any scheme over a suite trace or a CSV trace file
+// and report the full statistics panel.
+//
+// Usage:
+//   trace_replay [--scheme Base|2R|SepBIT|PHFTL] [--trace <id>|--csv <file>
+//                 --pages <logical_pages>] [--drive-writes N] [--export <file>]
+//
+// Examples:
+//   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
+//   trace_replay --scheme SepBIT --csv mytrace.csv --pages 45711
+//   trace_replay --trace "#52" --export out.csv   # export the synthetic trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/base_ftl.hpp"
+#include "baselines/sepbit.hpp"
+#include "baselines/two_r.hpp"
+#include "core/phftl.hpp"
+#include "trace/alibaba_suite.hpp"
+#include "trace/csv.hpp"
+
+using namespace phftl;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: trace_replay [--scheme Base|2R|SepBIT|PHFTL]\n"
+               "                    [--trace <suite id> | --csv <file> "
+               "--pages <n>]\n"
+               "                    [--drive-writes <x>] [--export <file>]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheme = "PHFTL";
+  std::string trace_id = "#52";
+  std::string csv_path;
+  std::string export_path;
+  std::uint64_t csv_pages = 0;
+  double drive_writes = 4.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--scheme") scheme = next();
+    else if (arg == "--trace") trace_id = next();
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--pages") csv_pages = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--drive-writes") drive_writes = std::atof(next());
+    else if (arg == "--export") export_path = next();
+    else usage();
+  }
+
+  // --- build trace + drive config ---
+  Trace trace;
+  FtlConfig cfg;
+  if (!csv_path.empty()) {
+    if (csv_pages == 0) usage();
+    trace = read_trace_csv_file(csv_path, csv_pages);
+    // Size the drive so the logical space covers the trace at 7% OP.
+    cfg.geom.num_dies = 8;
+    cfg.geom.pages_per_block = 16;
+    cfg.geom.page_size = 16 * 1024;
+    cfg.geom.blocks_per_die = static_cast<std::uint32_t>(
+        (static_cast<double>(csv_pages) / 0.93 / 128.0) + 1.0);
+  } else {
+    const auto& spec = suite_spec(trace_id);
+    cfg = suite_ftl_config(spec);
+    trace = make_suite_trace(spec, drive_writes);
+  }
+
+  if (!export_path.empty()) {
+    if (!write_trace_csv_file(trace, export_path)) {
+      std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+    std::printf("exported %zu requests to %s\n", trace.ops.size(),
+                export_path.c_str());
+    return 0;
+  }
+
+  std::unique_ptr<FtlBase> ftl;
+  if (scheme == "Base") ftl = std::make_unique<BaseFtl>(cfg);
+  else if (scheme == "2R") ftl = std::make_unique<TwoRFtl>(cfg);
+  else if (scheme == "SepBIT") ftl = std::make_unique<SepBitFtl>(cfg);
+  else if (scheme == "PHFTL")
+    ftl = std::make_unique<core::PhftlFtl>(core::default_phftl_config(cfg));
+  else usage();
+
+  std::printf("replaying %s (%zu requests, %llu write pages) on %s...\n",
+              trace.name.c_str(), trace.ops.size(),
+              static_cast<unsigned long long>(trace.total_write_pages()),
+              ftl->name().c_str());
+  for (const auto& req : trace.ops) ftl->submit(req);
+
+  const FtlStats& s = ftl->stats();
+  std::printf(
+      "\nresults:\n"
+      "  write amplification   %.1f%%  ((F-U)/U)\n"
+      "  user writes           %llu pages\n"
+      "  GC copies             %llu pages\n"
+      "  meta-page writes      %llu\n"
+      "  erases                %llu (max wear %llu)\n"
+      "  GC invocations        %llu\n"
+      "  host reads            %llu\n",
+      s.write_amplification() * 100.0,
+      static_cast<unsigned long long>(s.user_writes),
+      static_cast<unsigned long long>(s.gc_writes),
+      static_cast<unsigned long long>(s.meta_writes),
+      static_cast<unsigned long long>(s.erases),
+      static_cast<unsigned long long>(ftl->flash().max_erase_count()),
+      static_cast<unsigned long long>(s.gc_invocations),
+      static_cast<unsigned long long>(s.host_reads));
+
+  if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
+    phftl->finalize_evaluation();
+    const auto& cm = phftl->classifier_metrics();
+    std::printf(
+        "\nPHFTL specifics:\n"
+        "  classifier            acc %.3f  P %.3f  R %.3f  F1 %.3f\n"
+        "  adaptive threshold    %lld pages\n"
+        "  training windows      %llu\n"
+        "  metadata cache        %.2f%% hit rate, %llu flash meta reads\n",
+        cm.accuracy(), cm.precision(), cm.recall(), cm.f1(),
+        static_cast<long long>(phftl->threshold()),
+        static_cast<unsigned long long>(phftl->trainer().windows_completed()),
+        phftl->meta_store().cache_hit_rate() * 100.0,
+        static_cast<unsigned long long>(s.meta_reads));
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Base FTL: no data separation (paper §V-A "Base", FEMU's stock FTL).
+//
+// All writes — user and GC — share a single open superblock, so pages with
+// different lifetimes mix in the same blocks and GC must migrate the
+// long-living survivors, producing the high WA the paper reports.
+#pragma once
+
+#include <string>
+
+#include "ftl/ftl_base.hpp"
+#include "ftl/victim_policy.hpp"
+
+namespace phftl {
+
+enum class VictimPolicy { kGreedy, kCostBenefit };
+
+class BaseFtl : public FtlBase {
+ public:
+  explicit BaseFtl(const FtlConfig& cfg,
+                   VictimPolicy policy = VictimPolicy::kCostBenefit)
+      : FtlBase(cfg, /*num_streams=*/1), policy_(policy) {}
+
+  std::string name() const override { return "Base"; }
+
+ protected:
+  std::uint32_t classify_user_write(Lpn, const WriteContext&) override {
+    return 0;
+  }
+  std::uint32_t classify_gc_write(Lpn, std::uint8_t, const OobData&) override {
+    return 0;
+  }
+  std::uint64_t pick_victim() override {
+    return select_victim(*this, [this](std::uint64_t sb) {
+      const double inv = invalid_fraction_of(*this, sb);
+      if (policy_ == VictimPolicy::kGreedy) return greedy_score(inv);
+      const double age =
+          static_cast<double>(virtual_clock() - close_time(sb));
+      return cost_benefit_score(inv, age);
+    });
+  }
+
+ private:
+  VictimPolicy policy_;
+};
+
+}  // namespace phftl

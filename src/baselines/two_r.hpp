@@ -1,0 +1,39 @@
+// 2R (Kang et al., VLDB 2020): isolate cold pages by separating GC writes
+// from user writes.
+//
+// Heuristic (paper §V-B): a page still valid when its block is collected is
+// long-living, so GC-migrated pages go to a second region. Two streams:
+// stream 0 = user writes, stream 1 = GC writes. Victim selection follows the
+// paper's evaluation setup (Cost-Benefit, since 2R did not specify one).
+#pragma once
+
+#include <string>
+
+#include "ftl/ftl_base.hpp"
+#include "ftl/victim_policy.hpp"
+
+namespace phftl {
+
+class TwoRFtl : public FtlBase {
+ public:
+  explicit TwoRFtl(const FtlConfig& cfg) : FtlBase(cfg, /*num_streams=*/2) {}
+
+  std::string name() const override { return "2R"; }
+
+ protected:
+  std::uint32_t classify_user_write(Lpn, const WriteContext&) override {
+    return 0;
+  }
+  std::uint32_t classify_gc_write(Lpn, std::uint8_t, const OobData&) override {
+    return 1;
+  }
+  std::uint64_t pick_victim() override {
+    return select_victim(*this, [this](std::uint64_t sb) {
+      const double age =
+          static_cast<double>(virtual_clock() - close_time(sb));
+      return cost_benefit_score(invalid_fraction_of(*this, sb), age);
+    });
+  }
+};
+
+}  // namespace phftl

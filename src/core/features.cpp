@@ -1,0 +1,129 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace phftl::core {
+
+namespace {
+
+/// Append `digits` hex digits of `value` (little-endian), each scaled to
+/// [0, 1]. Values beyond the digit budget saturate (paper: "most cases can
+/// be handled without overflow").
+void put_hex(std::uint64_t value, std::size_t digits, float*& out) {
+  const std::uint64_t cap = (digits >= 16) ? ~0ULL : ((1ULL << (4 * digits)) - 1);
+  if (value > cap) value = cap;
+  for (std::size_t i = 0; i < digits; ++i) {
+    *out++ = static_cast<float>(value & 0xF) / 15.0f;
+    value >>= 4;
+  }
+}
+
+}  // namespace
+
+void encode_features(const RawFeatures& raw, std::span<float> out) {
+  PHFTL_CHECK(out.size() == kInputDim);
+  float* p = out.data();
+  put_hex(raw.prev_lifetime, 8, p);
+  put_hex(raw.io_len, 3, p);
+  put_hex(raw.chunk_write, 3, p);
+  put_hex(raw.chunk_read, 3, p);
+  put_hex(raw.rw_percent, 2, p);
+  *p++ = raw.is_seq ? 1.0f : 0.0f;
+  PHFTL_CHECK(p == out.data() + kInputDim);
+}
+
+std::vector<float> encode_features(const RawFeatures& raw) {
+  std::vector<float> out(kInputDim);
+  encode_features(raw, out);
+  return out;
+}
+
+void encode_features_compact(const RawFeatures& raw, std::span<float> out) {
+  PHFTL_CHECK(out.size() == kCompactDim);
+  const auto log_norm = [](double v, double bits) {
+    return static_cast<float>(std::log2(1.0 + v) / bits);
+  };
+  out[0] = log_norm(raw.prev_lifetime, 32.0);
+  out[1] = log_norm(raw.io_len, 12.0);
+  out[2] = log_norm(raw.chunk_write, 16.0);
+  out[3] = log_norm(raw.chunk_read, 16.0);
+  out[4] = static_cast<float>(raw.rw_percent) / 100.0f;
+  out[5] = raw.is_seq ? 1.0f : 0.0f;
+  // One-hot lifetime bins (half an octave each): a linear model over these can
+  // realize a sharp threshold at any scale, and adjacent lifetime modes
+  // (e.g. a cyclic interval and its 2x skip harmonic) land in distinct bins.
+  const auto bin = static_cast<std::size_t>(
+      std::min(std::log2(1.0 + raw.prev_lifetime) * 2.0,
+               static_cast<double>(kCompactBins - 1)));
+  for (std::size_t i = 0; i < kCompactBins; ++i)
+    out[6 + i] = i == bin ? 1.0f : 0.0f;
+}
+
+std::vector<float> encode_features_compact(const RawFeatures& raw) {
+  std::vector<float> out(kCompactDim);
+  encode_features_compact(raw, out);
+  return out;
+}
+
+FeatureTracker::FeatureTracker(const Config& cfg) : cfg_(cfg) {
+  PHFTL_CHECK(cfg_.logical_pages > 0 && cfg_.chunk_pages > 0);
+  const std::size_t chunks =
+      (cfg_.logical_pages + cfg_.chunk_pages - 1) / cfg_.chunk_pages;
+  chunk_write_.assign(chunks, 0);
+  chunk_read_.assign(chunks, 0);
+}
+
+void FeatureTracker::observe_request(const HostRequest& req) {
+  if (req.op == OpType::kTrim) return;  // management op, not an access
+  const std::size_t chunk = req.start_lpn / cfg_.chunk_pages;
+  PHFTL_CHECK(chunk < chunk_write_.size());
+  auto bump = [](std::uint16_t& c) {
+    if (c < 0xFFFF) ++c;
+  };
+  if (req.op == OpType::kWrite) {
+    bump(chunk_write_[chunk]);
+    ++recent_writes_;
+  } else {
+    bump(chunk_read_[chunk]);
+    ++recent_reads_;
+  }
+  if (++since_decay_ >= cfg_.decay_interval) decay();
+}
+
+void FeatureTracker::decay() {
+  // Halving keeps the counters reflecting *recent* activity without
+  // per-request timestamps — a standard aging scheme cheap enough for
+  // device firmware.
+  for (auto& c : chunk_write_) c = static_cast<std::uint16_t>(c >> 1);
+  for (auto& c : chunk_read_) c = static_cast<std::uint16_t>(c >> 1);
+  recent_writes_ >>= 1;
+  recent_reads_ >>= 1;
+  since_decay_ = 0;
+}
+
+std::uint8_t FeatureTracker::read_write_percent() const {
+  const std::uint64_t total = recent_reads_ + recent_writes_;
+  if (total == 0) return 0;
+  return static_cast<std::uint8_t>((recent_reads_ * 100) / total);
+}
+
+RawFeatures FeatureTracker::make_features(Lpn lpn,
+                                          std::uint32_t prev_lifetime,
+                                          const WriteContext& ctx) const {
+  RawFeatures f;
+  f.prev_lifetime = prev_lifetime;
+  f.io_len = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(ctx.io_len_pages, 0xFFF));
+  f.is_seq = ctx.is_sequential ? 1 : 0;
+  const std::size_t chunk = lpn / cfg_.chunk_pages;
+  PHFTL_CHECK(chunk < chunk_write_.size());
+  f.chunk_write = chunk_write_[chunk];
+  f.chunk_read = chunk_read_[chunk];
+  f.rw_percent = read_write_percent();
+  return f;
+}
+
+}  // namespace phftl::core

@@ -1,0 +1,104 @@
+#include "core/meta.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace phftl::core {
+
+MetaStore::MetaStore(const Config& cfg) : geom_(cfg.geom) {
+  entries_per_page_ =
+      static_cast<std::uint32_t>(geom_.page_size / kMetaEntryBytes);
+  PHFTL_CHECK_MSG(entries_per_page_ > 0, "page too small for meta entries");
+
+  // Fixed point of: meta = ceil((pages_per_sb - meta) / entries_per_page).
+  const std::uint64_t pps = geom_.pages_per_superblock();
+  std::uint32_t meta = 0;
+  for (;;) {
+    const std::uint64_t data = pps - meta;
+    const auto need = static_cast<std::uint32_t>(
+        (data + entries_per_page_ - 1) / entries_per_page_);
+    if (need == meta) break;
+    meta = need;
+  }
+  meta_per_sb_ = std::max<std::uint32_t>(meta, 1);
+  data_per_sb_ = pps - meta_per_sb_;
+  PHFTL_CHECK_MSG(data_per_sb_ > 0, "superblock too small");
+
+  const auto cap = static_cast<std::size_t>(
+      static_cast<double>(total_meta_pages()) * cfg.cache_fraction);
+  cache_capacity_ = std::max(cap, cfg.min_cache_pages);
+
+  entries_.resize(geom_.total_pages());
+}
+
+std::uint64_t MetaStore::mppn_of(Ppn ppn) const {
+  const std::uint64_t sb = geom_.superblock_of(ppn);
+  const std::uint64_t offset = geom_.offset_of(ppn);
+  PHFTL_CHECK_MSG(offset < data_per_sb_, "PPN is a meta page, not data");
+  return sb * meta_per_sb_ + offset / entries_per_page_;
+}
+
+const MetaEntry& MetaStore::get(Ppn ppn, bool sb_open, bool* flash_read) {
+  PHFTL_CHECK(ppn < entries_.size());
+  if (flash_read) *flash_read = false;
+  if (sb_open) {
+    // Entry still sits in the open superblock's RAM write buffer.
+    ++buffer_hits_;
+    return entries_[ppn];
+  }
+  const std::uint64_t mppn = mppn_of(ppn);
+  auto it = index_.find(mppn);
+  if (it != index_.end()) {
+    ++hits_;
+    touch(mppn);
+  } else {
+    ++misses_;
+    if (flash_read) *flash_read = true;  // meta page fetched from flash
+    insert(mppn);
+  }
+  return entries_[ppn];
+}
+
+void MetaStore::put(Ppn ppn, const MetaEntry& entry) {
+  PHFTL_CHECK(ppn < entries_.size());
+  PHFTL_CHECK_MSG(geom_.offset_of(ppn) < data_per_sb_,
+                  "meta entries attach to data pages only");
+  entries_[ppn] = entry;
+}
+
+void MetaStore::on_superblock_erased(std::uint64_t sb) {
+  // Invalidate cached meta pages of the erased superblock.
+  const std::uint64_t first = sb * meta_per_sb_;
+  for (std::uint64_t mppn = first; mppn < first + meta_per_sb_; ++mppn) {
+    auto it = index_.find(mppn);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+  // Reset the entries (flash content is gone after erase).
+  const std::uint64_t base = sb * geom_.pages_per_superblock();
+  std::fill(entries_.begin() + static_cast<std::ptrdiff_t>(base),
+            entries_.begin() +
+                static_cast<std::ptrdiff_t>(base + geom_.pages_per_superblock()),
+            MetaEntry{});
+}
+
+void MetaStore::touch(std::uint64_t mppn) {
+  auto it = index_.find(mppn);
+  PHFTL_CHECK(it != index_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void MetaStore::insert(std::uint64_t mppn) {
+  if (index_.size() >= cache_capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim);
+  }
+  lru_.push_front(mppn);
+  index_[mppn] = lru_.begin();
+}
+
+}  // namespace phftl::core

@@ -1,0 +1,119 @@
+// ML metadata management: flash data layout and the RAM metadata cache
+// (paper §III-C, Fig. 4).
+//
+// Every data page carries 36 B of ML metadata: the page's last-write
+// timestamp (4 B, for lifetime computation) and its cached GRU hidden state
+// (32 B int8). Metadata lives in *meta pages* at the tail of each
+// superblock, one entry per data page in superblock order, so the meta-page
+// address (MPPN) is computable from a data page's offset. RAM holds only:
+//   * per-open-superblock write buffers (entries accumulate in RAM until the
+//     superblock closes and the meta pages are programmed), and
+//   * a small on-demand cache of meta pages, indexed by a red-black tree
+//     keyed on MPPN with LRU eviction, sized at 1 % of all meta pages.
+// Consecutive data pages share a meta page, so one flash read serves many
+// subsequent retrievals (the 98–99.9 % hit rates of §V-B).
+//
+// Each data page's OOB area additionally carries a copy of its own entry so
+// GC migrates metadata without touching meta pages (paper Fig. 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "flash/geometry.hpp"
+
+namespace phftl::core {
+
+inline constexpr std::uint32_t kNeverWritten = 0xFFFFFFFFu;
+
+/// One per-page metadata record: 4 B timestamp + 32 B hidden state = 36 B.
+struct MetaEntry {
+  std::uint32_t write_time = kNeverWritten;
+  std::array<std::int8_t, 32> hidden{};
+};
+inline constexpr std::size_t kMetaEntryBytes = 36;
+
+class MetaStore {
+ public:
+  struct Config {
+    Geometry geom;
+    /// Cache capacity as a fraction of the total meta-page count (paper: 1%).
+    double cache_fraction = 0.01;
+    /// Lower bound on cache capacity in meta pages.
+    std::size_t min_cache_pages = 16;
+  };
+
+  explicit MetaStore(const Config& cfg);
+
+  // --- layout ---
+  std::uint32_t entries_per_meta_page() const { return entries_per_page_; }
+  std::uint32_t meta_pages_per_superblock() const { return meta_per_sb_; }
+  std::uint64_t data_pages_per_superblock() const { return data_per_sb_; }
+  std::size_t cache_capacity_pages() const { return cache_capacity_; }
+  std::uint64_t total_meta_pages() const {
+    return static_cast<std::uint64_t>(meta_per_sb_) *
+           geom_.num_superblocks();
+  }
+  /// RAM the cache may hold at capacity, in bytes (entries only).
+  std::uint64_t cache_capacity_bytes() const {
+    return static_cast<std::uint64_t>(cache_capacity_) * entries_per_page_ *
+           kMetaEntryBytes;
+  }
+
+  /// Meta-page id covering the data page at `ppn`.
+  std::uint64_t mppn_of(Ppn ppn) const;
+
+  // --- access ---
+  /// Retrieve the metadata of the data page at `ppn`. `sb_open` indicates
+  /// the page's superblock is still open (entries are in the RAM write
+  /// buffer — no flash I/O). For closed superblocks the meta page is looked
+  /// up in the cache; `*flash_read` is set when a miss forced a meta-page
+  /// read from flash.
+  const MetaEntry& get(Ppn ppn, bool sb_open, bool* flash_read);
+
+  /// Record the metadata entry for the data page just written at `ppn`
+  /// (into the open superblock's RAM buffer; also what finalize programs).
+  void put(Ppn ppn, const MetaEntry& entry);
+
+  /// Superblock erased: its meta pages are gone; drop them from the cache.
+  void on_superblock_erased(std::uint64_t sb);
+
+  // --- statistics (paper §V-B cache-hit analysis) ---
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+  std::uint64_t buffer_hits() const { return buffer_hits_; }
+  double cache_hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 1.0;
+  }
+
+ private:
+  void touch(std::uint64_t mppn);   // move to MRU
+  void insert(std::uint64_t mppn);  // add, evicting LRU if needed
+
+  Geometry geom_;
+  std::uint32_t entries_per_page_;
+  std::uint32_t meta_per_sb_;
+  std::uint64_t data_per_sb_;
+  std::size_t cache_capacity_;
+
+  /// Entry for the data page stored at each PPN. Entries of open
+  /// superblocks model the RAM write buffer; entries of closed superblocks
+  /// model meta-page contents in flash (reachable via the cache).
+  std::vector<MetaEntry> entries_;
+
+  /// Red-black tree (std::map) keyed by MPPN → position in the LRU list,
+  /// exactly the paper's cache index structure.
+  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t buffer_hits_ = 0;
+};
+
+}  // namespace phftl::core

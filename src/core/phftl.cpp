@@ -1,0 +1,190 @@
+#include "core/phftl.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace phftl::core {
+
+PhftlConfig default_phftl_config(const FtlConfig& ftl_cfg,
+                                 std::uint64_t seed) {
+  PhftlConfig cfg;
+  cfg.ftl = ftl_cfg;
+  cfg.trainer.seed = seed;
+  cfg.trainer.threshold.seed = seed ^ 0x7f4a7c15;
+  return cfg;
+}
+
+namespace {
+
+ModelTrainer::Config fill_trainer_config(const PhftlConfig& cfg,
+                                         std::uint64_t logical_pages) {
+  ModelTrainer::Config tc = cfg.trainer;
+  tc.logical_pages = logical_pages;
+  if (tc.window_pages == 0) {
+    // Paper §III-B: a window is 5 % of the SSD's total size.
+    tc.window_pages = std::max<std::uint64_t>(
+        1, cfg.ftl.geom.total_pages() / 20);
+  }
+  return tc;
+}
+
+MetaStore::Config fill_meta_config(const PhftlConfig& cfg) {
+  MetaStore::Config mc = cfg.meta;
+  mc.geom = cfg.ftl.geom;
+  return mc;
+}
+
+FeatureTracker::Config fill_tracker_config(const PhftlConfig& cfg,
+                                           std::uint64_t logical_pages) {
+  FeatureTracker::Config fc = cfg.features;
+  fc.logical_pages = logical_pages;
+  return fc;
+}
+
+}  // namespace
+
+PhftlFtl::PhftlFtl(const PhftlConfig& cfg)
+    : FtlBase(cfg.ftl, kNumStreams),
+      cfg_(cfg),
+      tracker_(fill_tracker_config(cfg, logical_pages())),
+      meta_(fill_meta_config(cfg)),
+      trainer_(fill_trainer_config(cfg, logical_pages())),
+      pending_(logical_pages()) {}
+
+MetaEntry PhftlFtl::fetch_metadata(Lpn lpn) {
+  if (!is_mapped(lpn)) return MetaEntry{};
+  const Ppn ppn = lookup(lpn);
+  const std::uint64_t sb = geom().superblock_of(ppn);
+  const bool open = flash().state(sb) == SuperblockState::kOpen;
+  bool missed = false;
+  const MetaEntry entry = meta_.get(ppn, open, &missed);
+  if (missed) note_meta_read();
+  return entry;
+}
+
+std::uint32_t PhftlFtl::classify_user_write(Lpn lpn, const WriteContext& ctx) {
+  // 1. Retrieve ML metadata (cached hidden state + last write time).
+  const MetaEntry entry = fetch_metadata(lpn);
+  const std::uint32_t prev_lifetime =
+      entry.write_time == kNeverWritten
+          ? 0xFFFFFFFFu  // never written: "infinite" previous lifetime
+          : static_cast<std::uint32_t>(ctx.now - entry.write_time);
+
+  // 2. Build features; feed the trainer's profiling tap.
+  const RawFeatures raw = tracker_.make_features(lpn, prev_lifetime, ctx);
+  trainer_.observe_page_write(lpn, raw, ctx.now);
+
+  // 3. Resolve the previous prediction for this page (Table I): its true
+  //    lifetime is now known.
+  Pending& pend = pending_[lpn];
+  if (pend.predicted != 2) {
+    const bool actually_short = prev_lifetime <= pend.threshold;
+    cm_.add(pend.predicted == 1, actually_short);
+    pend.predicted = 2;
+  }
+
+  // 4. Predict with one incremental GRU step from the cached hidden state.
+  scratch_entry_.write_time = static_cast<std::uint32_t>(ctx.now);
+  scratch_entry_.hidden = entry.hidden;
+  if (!trainer_.model_deployed()) {
+    // Before the first deployment all user writes share the long stream.
+    return kStreamLong;
+  }
+  std::vector<float> x(kInputDim);
+  encode_features(raw, x);
+  const int cls = trainer_.deployed_model().predict_incremental(
+      x, scratch_entry_.hidden);
+  ++predictions_;
+  const bool short_living = cls == 1;
+  if (short_living) ++short_predictions_;
+
+  pend.predicted = short_living ? 1 : 0;
+  pend.threshold = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(trainer_.threshold(), 0));
+
+  return short_living ? kStreamShort : kStreamLong;
+}
+
+std::uint32_t PhftlFtl::classify_gc_write(Lpn /*lpn*/, std::uint8_t gc_count,
+                                          const OobData& /*oob*/) {
+  // Streams 2..6 for pages GC'd 1..5+ times (paper §III-A item 3).
+  PHFTL_CHECK(gc_count >= 1);
+  const std::uint32_t idx = std::min<std::uint32_t>(gc_count, 5);
+  return kFirstGcStream + idx - 1;
+}
+
+std::uint64_t PhftlFtl::pick_victim() {
+  const double threshold = static_cast<double>(
+      std::max<std::int64_t>(trainer_.threshold(), 1));
+  const std::uint64_t now = virtual_clock();
+  return select_victim(*this, [&](std::uint64_t sb) {
+    const double inv = invalid_fraction_of(*this, sb);
+    switch (cfg_.gc_policy) {
+      case PhftlConfig::GcPolicy::kGreedy:
+        return greedy_score(inv);
+      case PhftlConfig::GcPolicy::kCostBenefit:
+        return cost_benefit_score(
+            inv, static_cast<double>(now - close_time(sb)));
+      case PhftlConfig::GcPolicy::kAdjustedGreedy:
+      default: {
+        const bool short_living = stream_of(sb) == kStreamShort;
+        const double elapsed = static_cast<double>(now - close_time(sb));
+        return adjusted_greedy_score(inv, valid_fraction_of(*this, sb),
+                                     short_living, threshold, elapsed);
+      }
+    }
+  });
+}
+
+std::uint64_t PhftlFtl::data_capacity(std::uint64_t /*sb*/) const {
+  return meta_.data_pages_per_superblock();
+}
+
+void PhftlFtl::finalize_superblock(std::uint64_t sb) {
+  // Program the meta pages at the superblock tail (paper Fig. 4). Entry
+  // contents are already staged in the MetaStore's RAM buffer; programming
+  // them makes the superblock's metadata flash-resident.
+  for (std::uint32_t i = 0; i < meta_.meta_pages_per_superblock(); ++i)
+    program_meta_page(sb, /*payload=*/sb * 1000 + i);
+}
+
+void PhftlFtl::on_superblock_erased(std::uint64_t sb) {
+  meta_.on_superblock_erased(sb);
+}
+
+void PhftlFtl::on_request(const HostRequest& req) {
+  tracker_.observe_request(req);
+}
+
+void PhftlFtl::on_host_write_complete(Lpn /*lpn*/, Ppn ppn,
+                                      const WriteContext& /*ctx*/) {
+  // Stage the page's metadata entry (write time + updated hidden state) in
+  // the open superblock's buffer; it reaches flash when the block closes.
+  meta_.put(ppn, scratch_entry_);
+  trainer_.maybe_train();
+}
+
+void PhftlFtl::on_gc_write_complete(Lpn /*lpn*/, Ppn new_ppn,
+                                    const OobData& oob) {
+  // GC migrates metadata from the page's OOB copy — no meta-page read.
+  MetaEntry entry;
+  entry.write_time = oob.write_time;
+  entry.hidden = oob.hidden;
+  meta_.put(new_ppn, entry);
+}
+
+void PhftlFtl::fill_user_oob(Lpn /*lpn*/, OobData& oob) {
+  oob.hidden = scratch_entry_.hidden;
+}
+
+void PhftlFtl::finalize_evaluation() {
+  for (auto& pend : pending_) {
+    if (pend.predicted != 2) {
+      cm_.add(pend.predicted == 1, /*actually_positive=*/false);
+      pend.predicted = 2;
+    }
+  }
+}
+
+}  // namespace phftl::core

@@ -1,0 +1,119 @@
+// PHFTL — Prediction-based High-performance FTL (the paper's contribution).
+//
+// Wiring (paper Fig. 1):
+//   * every host page write is classified short-/long-living by the int8
+//     Page Classifier using a single incremental GRU step from the page's
+//     cached hidden state (O(1) prediction, §III-C);
+//   * user writes go to stream 0 (short-living) or 1 (long-living); GC
+//     writes are separated by victim count into streams 2..6 (GC'd once,
+//     twice, ..., five-plus times — read-only data converges to dedicated
+//     superblocks, §III-A);
+//   * ML metadata (36 B/page) lives in meta pages at superblock tails with
+//     a 1 % RAM cache (§III-C); each page's OOB carries a copy for GC;
+//   * the host-side Model Trainer re-picks the labeling threshold
+//     (Algorithm 1) and retrains/deploys the model every write window;
+//   * GC victims are chosen by the Adjusted Greedy policy (Eq. 1).
+//
+// The class additionally keeps the online classifier evaluation the paper
+// reports in Table I: each prediction is scored when the page's true
+// lifetime becomes known (at its next write, or as long-living at
+// end-of-run).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/meta.hpp"
+#include "core/trainer.hpp"
+#include "ftl/ftl_base.hpp"
+#include "ftl/victim_policy.hpp"
+#include "util/stats.hpp"
+
+namespace phftl::core {
+
+struct PhftlConfig {
+  FtlConfig ftl;
+  ModelTrainer::Config trainer;  ///< window_pages filled from geometry if 0
+  MetaStore::Config meta;        ///< geom filled from ftl.geom
+  FeatureTracker::Config features;  ///< logical_pages filled automatically
+  /// GC policy: Adjusted Greedy (paper) or plain Greedy / Cost-Benefit for
+  /// the ablation benchmark.
+  enum class GcPolicy { kAdjustedGreedy, kGreedy, kCostBenefit };
+  GcPolicy gc_policy = GcPolicy::kAdjustedGreedy;
+};
+
+class PhftlFtl : public FtlBase {
+ public:
+  /// Stream map.
+  static constexpr std::uint32_t kStreamShort = 0;
+  static constexpr std::uint32_t kStreamLong = 1;
+  static constexpr std::uint32_t kFirstGcStream = 2;  // GC'd once
+  static constexpr std::uint32_t kNumStreams = 7;     // 2 user + 5 GC
+
+  explicit PhftlFtl(const PhftlConfig& cfg);
+
+  std::string name() const override { return "PHFTL"; }
+
+  // --- paper-facing metrics ---
+  /// Online Page Classifier confusion matrix (Table I). Call
+  /// finalize_evaluation() first to resolve never-rewritten predictions.
+  const ConfusionMatrix& classifier_metrics() const { return cm_; }
+  /// Resolve outstanding predictions as long-living (end of trace).
+  void finalize_evaluation();
+
+  const MetaStore& meta_store() const { return meta_; }
+  const ModelTrainer& trainer() const { return trainer_; }
+  std::int64_t threshold() const { return trainer_.threshold(); }
+  std::uint64_t predictions_made() const { return predictions_; }
+  std::uint64_t short_predictions() const { return short_predictions_; }
+
+ protected:
+  std::uint32_t classify_user_write(Lpn lpn, const WriteContext& ctx) override;
+  std::uint32_t classify_gc_write(Lpn lpn, std::uint8_t gc_count,
+                                  const OobData& oob) override;
+  std::uint64_t pick_victim() override;
+  std::uint64_t data_capacity(std::uint64_t sb) const override;
+  void finalize_superblock(std::uint64_t sb) override;
+  void on_superblock_erased(std::uint64_t sb) override;
+  void on_request(const HostRequest& req) override;
+  void on_host_write_complete(Lpn lpn, Ppn ppn,
+                              const WriteContext& ctx) override;
+  void on_gc_write_complete(Lpn lpn, Ppn new_ppn,
+                            const OobData& oob) override;
+  void fill_user_oob(Lpn lpn, OobData& oob) override;
+
+ private:
+  /// Fetch the page's ML metadata (through the cache, charging a meta read
+  /// on miss). Returns an all-defaults entry for never-written pages.
+  MetaEntry fetch_metadata(Lpn lpn);
+
+  PhftlConfig cfg_;
+  FeatureTracker tracker_;
+  MetaStore meta_;
+  ModelTrainer trainer_;
+
+  /// Pending per-page prediction awaiting ground truth (Table I).
+  struct Pending {
+    std::uint8_t predicted = 2;  ///< 0 long, 1 short, 2 = none
+    std::uint32_t threshold = 0;
+  };
+  std::vector<Pending> pending_;
+  ConfusionMatrix cm_;
+
+  /// Scratch carrying the entry from classify_user_write to
+  /// on_host_write_complete / fill_user_oob (same page write).
+  MetaEntry scratch_entry_;
+
+  std::uint64_t predictions_ = 0;
+  std::uint64_t short_predictions_ = 0;
+};
+
+/// Convenience: a PHFTL with paper-default parameters for a geometry
+/// (window = 5 % of physical size, 1 % metadata cache, Adjusted Greedy).
+PhftlConfig default_phftl_config(const FtlConfig& ftl_cfg,
+                                 std::uint64_t seed = 1234);
+
+}  // namespace phftl::core

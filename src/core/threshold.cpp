@@ -1,0 +1,176 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace phftl::core {
+
+ThresholdController::ThresholdController(const Config& cfg)
+    : cfg_(cfg), rng_(cfg.seed), step_(cfg.initial_step) {
+  PHFTL_CHECK(cfg_.initial_step >= 1 && cfg_.max_step >= cfg_.initial_step);
+}
+
+std::uint64_t ThresholdController::inflection_point(
+    std::vector<std::uint64_t> samples) {
+  PHFTL_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  if (n == 1) return samples[0];
+
+  // Chord from (L_1, 1) to (L_N, N); pick the sample maximizing the
+  // perpendicular distance |a·x + b·y + c| (the shared normalization is
+  // constant, so the numerator alone decides).
+  const double x1 = static_cast<double>(samples.front()), y1 = 1.0;
+  const double x2 = static_cast<double>(samples.back());
+  const double y2 = static_cast<double>(n);
+  const double a = y2 - y1;
+  const double b = -(x2 - x1);
+  const double c = x2 * y1 - y2 * x1;
+
+  double best = -1.0;
+  std::uint64_t best_val = samples.front();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::fabs(a * static_cast<double>(samples[i]) +
+                               b * static_cast<double>(i + 1) + c);
+    if (d > best) {
+      best = d;
+      best_val = samples[i];
+    }
+  }
+  return best_val;
+}
+
+std::uint64_t ThresholdController::value_at_percentile(
+    const std::vector<std::uint64_t>& sorted, double q) {
+  PHFTL_CHECK(!sorted.empty());
+  q = std::clamp(q, 0.0, 100.0);
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(pos + 0.5)];
+}
+
+double ThresholdController::percentile_of_value(
+    const std::vector<std::uint64_t>& sorted, std::uint64_t value) {
+  PHFTL_CHECK(!sorted.empty());
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  const auto rank = static_cast<double>(it - sorted.begin());
+  if (sorted.size() == 1) return 50.0;
+  return 100.0 * rank / static_cast<double>(sorted.size());
+}
+
+double ThresholdController::evaluate_candidate(
+    std::uint64_t candidate, const std::vector<std::uint64_t>& lifetimes,
+    const std::vector<std::vector<float>>& features) {
+  // Label with the candidate, balance, train the lightweight model, and
+  // report held-out accuracy (Algorithm 1's TrainEvalLightModel). Two
+  // independent resample/split rounds are averaged: the hill climb follows
+  // these estimates, so their noise must be below the real accuracy
+  // differences between candidates.
+  std::vector<int> labels(lifetimes.size());
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    labels[i] = lifetimes[i] <= candidate ? 1 : 0;
+    positives += static_cast<std::size_t>(labels[i]);
+  }
+  // Degenerate splits (almost everything on one side) cannot be evaluated:
+  // a balanced resample of a handful of boundary samples scores spuriously
+  // high accuracy and would pin the threshold at the window's extremes.
+  const std::size_t minority = std::min(positives, labels.size() - positives);
+  if (minority < std::max<std::size_t>(8, labels.size() / 50)) return 0.0;
+
+  ml::LogisticRegression::Config lm;
+  lm.epochs = 12;
+  lm.lr = 0.2f;
+
+  double total = 0.0;
+  int rounds = 0;
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<float>> bal_x;
+    std::vector<int> bal_y;
+    ml::balanced_resample(features, labels, cfg_.resample_per_class, rng_,
+                          bal_x, bal_y);
+    if (bal_x.size() < 8) continue;
+    total += ml::train_eval_light_model(bal_x, bal_y, cfg_.test_fraction,
+                                        rng_, lm);
+    ++rounds;
+  }
+  return rounds ? total / rounds : 0.0;
+}
+
+std::uint64_t ThresholdController::pick_threshold(
+    const std::vector<std::uint64_t>& lifetimes,
+    const std::vector<std::vector<float>>& features) {
+  PHFTL_CHECK(lifetimes.size() == features.size());
+  if (lifetimes.empty()) {
+    // No samples this window: keep the previous threshold.
+    return threshold_ >= 0 ? static_cast<std::uint64_t>(threshold_) : 0;
+  }
+
+  if (threshold_ < 0) {
+    // First window: inflection point of the lifetime CDF.
+    threshold_ = static_cast<std::int64_t>(inflection_point(lifetimes));
+    have_prev_window_ = true;
+    prev_dir_ = 0;
+    last_dir_ = 0;
+    last_accuracy_ = 0.0;
+    return static_cast<std::uint64_t>(threshold_);
+  }
+
+  if (cfg_.freeze_after_first_window)
+    return static_cast<std::uint64_t>(threshold_);
+
+  std::vector<std::uint64_t> sorted = lifetimes;
+  std::sort(sorted.begin(), sorted.end());
+  const double p =
+      percentile_of_value(sorted, static_cast<std::uint64_t>(threshold_));
+
+  // Candidate set: the window's own inflection point (re-anchor), then the
+  // percentile walk {p, p − step, p + step}. Evaluating the inflection
+  // point first makes ties re-anchor the threshold at the CDF knee — the
+  // placement the paper's Fig. 2 intends — instead of letting a flat,
+  // noisy accuracy surface random-walk the threshold away from it.
+  double max_accu = -1.0;
+  std::uint64_t max_thres = static_cast<std::uint64_t>(threshold_);
+  int chosen_dir = 0;
+  bool anchored = true;
+  if (cfg_.reanchor) {
+    const std::uint64_t knee = inflection_point(lifetimes);
+    max_accu = evaluate_candidate(knee, lifetimes, features);
+    max_thres = knee;
+  }
+  for (const int dir : {0, -1, 1}) {
+    const std::uint64_t t =
+        value_at_percentile(sorted, p + dir * static_cast<double>(step_));
+    const double accu = evaluate_candidate(t, lifetimes, features);
+    if (accu > max_accu) {
+      max_accu = accu;
+      max_thres = t;
+      chosen_dir = dir;
+      anchored = false;
+    }
+  }
+  (void)anchored;  // a re-anchor counts as "no directional adjustment"
+
+  // Step-length adaptation (Algorithm 1's four rules).
+  const int cur_dir = chosen_dir;
+  if (prev_dir_ == 0 && cur_dir == 0) {
+    ++step_;  // stuck: widen to escape a local optimum
+  } else if (prev_dir_ != 0 && cur_dir == 0) {
+    --step_;  // just converged: try a finer step
+  } else if (prev_dir_ != 0 && cur_dir != 0 && prev_dir_ != cur_dir) {
+    --step_;  // fluctuation: damp
+  } else if (prev_dir_ != 0 && cur_dir != 0 && prev_dir_ == cur_dir) {
+    ++step_;  // consistent movement: accelerate
+  }
+  step_ = std::min(std::abs(step_), cfg_.max_step);
+  step_ = std::max(step_, 1);
+
+  prev_dir_ = cur_dir;
+  last_dir_ = cur_dir;
+  last_accuracy_ = max_accu;
+  threshold_ = static_cast<std::int64_t>(max_thres);
+  return max_thres;
+}
+
+}  // namespace phftl::core

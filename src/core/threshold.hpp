@@ -1,0 +1,90 @@
+// Adaptive classification-threshold controller — paper Algorithm 1 and
+// Fig. 2.
+//
+// The Page Classifier's binary label is "lifetime below threshold T".
+// T is re-picked after every write window (5 % of the SSD's size written):
+//   * first window: T = the inflection point of the sorted lifetime-sample
+//     array — the point of maximum distance from the chord joining the
+//     first and last sorted samples, i.e. where the empirical CDF enters
+//     its long tail (Fig. 2a);
+//   * later windows: locate the percentile p of the previous T among the
+//     new samples, evaluate candidate thresholds at percentiles p − step,
+//     p, p + step by training a lightweight logistic-regression model on a
+//     balanced resample labelled with each candidate, and keep the
+//     candidate with the highest held-out accuracy (Fig. 2b);
+//   * the step length then self-tunes: it grows when the threshold is
+//     stable (escape local optima) or moving consistently (converge
+//     faster), and shrinks when the direction just flipped (fluctuation)
+//     or an adjustment streak just ended (refine), capped at 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/logreg.hpp"
+#include "util/rng.hpp"
+
+namespace phftl::core {
+
+class ThresholdController {
+ public:
+  struct Config {
+    int initial_step = 5;  ///< percentile points (paper: 5)
+    int max_step = 10;     ///< paper: min(|step|, 10)
+    /// Balanced-resample cap per class for the lightweight model.
+    std::size_t resample_per_class = 512;
+    /// Held-out fraction when scoring a candidate threshold.
+    double test_fraction = 0.25;
+    /// Include each window's inflection point as a re-anchoring candidate
+    /// (see DESIGN.md §7.6). Disable to run pure Algorithm 1 — used by the
+    /// frozen-threshold ablation.
+    bool reanchor = true;
+    /// Freeze the threshold after the first window (ablation only).
+    bool freeze_after_first_window = false;
+    std::uint64_t seed = 99;
+  };
+
+  explicit ThresholdController(const Config& cfg);
+
+  /// Run one window's adjustment. `lifetimes[i]` pairs with `features[i]`
+  /// (the encoded feature vector of the write that *created* the sampled
+  /// version). Returns the new threshold; with no samples the previous
+  /// threshold is retained.
+  std::uint64_t pick_threshold(const std::vector<std::uint64_t>& lifetimes,
+                               const std::vector<std::vector<float>>& features);
+
+  /// Current threshold; -1 before the first window.
+  std::int64_t threshold() const { return threshold_; }
+  int step() const { return step_; }
+  /// Accuracy achieved by the winning candidate in the last window.
+  double last_accuracy() const { return last_accuracy_; }
+  /// Direction chosen in the last window: -1, 0, +1.
+  int last_direction() const { return last_dir_; }
+
+  /// Maximum-chord-distance inflection point of a lifetime sample set
+  /// (paper Fig. 2a). Exposed for testing; `samples` need not be sorted.
+  static std::uint64_t inflection_point(std::vector<std::uint64_t> samples);
+
+ private:
+  /// Value at percentile q (0–100) of sorted samples (nearest rank).
+  static std::uint64_t value_at_percentile(
+      const std::vector<std::uint64_t>& sorted, double q);
+  /// Percentile (0–100) of `value` within sorted samples.
+  static double percentile_of_value(const std::vector<std::uint64_t>& sorted,
+                                    std::uint64_t value);
+
+  double evaluate_candidate(std::uint64_t candidate,
+                            const std::vector<std::uint64_t>& lifetimes,
+                            const std::vector<std::vector<float>>& features);
+
+  Config cfg_;
+  Xoshiro256 rng_;
+  std::int64_t threshold_ = -1;
+  int step_;
+  int last_dir_ = 0;
+  bool have_prev_window_ = false;
+  int prev_dir_ = 0;
+  double last_accuracy_ = 0.0;
+};
+
+}  // namespace phftl::core

@@ -1,0 +1,83 @@
+#include "flash/flash_array.hpp"
+
+#include <algorithm>
+
+namespace phftl {
+
+FlashArray::FlashArray(const Geometry& geom)
+    : geom_(geom),
+      sbs_(geom.num_superblocks()),
+      payload_(geom.total_pages(), 0),
+      oob_(geom.total_pages()),
+      programmed_(geom.total_pages(), 0) {
+  geom_.validate();
+}
+
+void FlashArray::open_superblock(std::uint64_t sb) {
+  PHFTL_CHECK(sb < sbs_.size());
+  PHFTL_CHECK_MSG(sbs_[sb].state == SuperblockState::kFree,
+                  "open requires a free superblock");
+  sbs_[sb].state = SuperblockState::kOpen;
+  sbs_[sb].next_offset = 0;
+}
+
+void FlashArray::close_superblock(std::uint64_t sb) {
+  PHFTL_CHECK(sb < sbs_.size());
+  PHFTL_CHECK_MSG(sbs_[sb].state == SuperblockState::kOpen,
+                  "close requires an open superblock");
+  sbs_[sb].state = SuperblockState::kClosed;
+}
+
+void FlashArray::erase_superblock(std::uint64_t sb) {
+  PHFTL_CHECK(sb < sbs_.size());
+  PHFTL_CHECK_MSG(sbs_[sb].state == SuperblockState::kClosed,
+                  "only closed superblocks are erased");
+  const std::uint64_t base = sb * geom_.pages_per_superblock();
+  const std::uint64_t n = geom_.pages_per_superblock();
+  std::fill(programmed_.begin() + static_cast<std::ptrdiff_t>(base),
+            programmed_.begin() + static_cast<std::ptrdiff_t>(base + n), 0);
+  sbs_[sb].state = SuperblockState::kFree;
+  sbs_[sb].next_offset = 0;
+  ++sbs_[sb].erase_count;
+  ++erases_;
+}
+
+Ppn FlashArray::program(std::uint64_t sb, std::uint64_t payload,
+                        const OobData& oob) {
+  PHFTL_CHECK(sb < sbs_.size());
+  SbInfo& info = sbs_[sb];
+  PHFTL_CHECK_MSG(info.state == SuperblockState::kOpen,
+                  "program requires an open superblock");
+  PHFTL_CHECK_MSG(info.next_offset < geom_.pages_per_superblock(),
+                  "superblock is full");
+  const Ppn ppn = geom_.make_ppn(sb, info.next_offset);
+  PHFTL_CHECK_MSG(!programmed_[ppn], "double program without erase");
+  programmed_[ppn] = 1;
+  payload_[ppn] = payload;
+  oob_[ppn] = oob;
+  oob_[ppn].program_seq = ++program_seq_;  // stamp global program order
+  ++info.next_offset;
+  ++programs_;
+  return ppn;
+}
+
+std::uint64_t FlashArray::read(Ppn ppn) const {
+  PHFTL_CHECK(ppn < payload_.size());
+  PHFTL_CHECK_MSG(programmed_[ppn], "read of unprogrammed page");
+  ++reads_;
+  return payload_[ppn];
+}
+
+const OobData& FlashArray::read_oob(Ppn ppn) const {
+  PHFTL_CHECK(ppn < oob_.size());
+  PHFTL_CHECK_MSG(programmed_[ppn], "OOB read of unprogrammed page");
+  return oob_[ppn];
+}
+
+std::uint64_t FlashArray::max_erase_count() const {
+  std::uint64_t mx = 0;
+  for (const auto& s : sbs_) mx = std::max(mx, s.erase_count);
+  return mx;
+}
+
+}  // namespace phftl

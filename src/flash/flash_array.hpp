@@ -1,0 +1,103 @@
+// Functional NAND flash array model.
+//
+// Enforces the physical rules an FTL must respect (paper §II-A):
+//  * erase-before-write: a page may be programmed exactly once per erase,
+//  * sequential programming within a superblock (which, with the round-robin
+//    die layout, implies sequential programming within each physical block),
+//  * reads only from programmed pages.
+//
+// The array stores a 64-bit payload per page (enough for integrity checking
+// via stored LPN/value) plus a fixed-size OOB blob, and counts every program,
+// read, and erase for write-amplification and endurance accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hpp"
+#include "util/assert.hpp"
+
+namespace phftl {
+
+/// Per-page out-of-band area. Sized to hold the PHFTL per-page metadata
+/// copy (LPN + 4B write timestamp + 32B hidden state, §III-C) with room to
+/// spare, matching real NAND OOB capacities (paper Fig. 4 shows 256 B).
+struct OobData {
+  Lpn lpn = kInvalidLpn;
+  std::uint32_t write_time = 0;            ///< virtual-clock timestamp
+  std::uint8_t gc_count = 0;               ///< times migrated by GC
+  std::array<std::int8_t, 32> hidden{};    ///< cached GRU hidden state copy
+  /// Global program sequence number, stamped by the flash array at program
+  /// time. Mount-time L2P reconstruction uses it to order versions of the
+  /// same LPN (GC copies preserve write_time, so the timestamp alone cannot
+  /// tell the live copy from the stale original).
+  std::uint64_t program_seq = 0;
+};
+
+enum class SuperblockState : std::uint8_t { kFree, kOpen, kClosed };
+
+class FlashArray {
+ public:
+  explicit FlashArray(const Geometry& geom);
+
+  const Geometry& geometry() const { return geom_; }
+
+  // --- Superblock lifecycle ---
+  SuperblockState state(std::uint64_t sb) const { return sbs_[sb].state; }
+
+  /// Transition a free superblock to open (write pointer at offset 0).
+  void open_superblock(std::uint64_t sb);
+
+  /// Mark a fully-programmed open superblock closed (read-only).
+  void close_superblock(std::uint64_t sb);
+
+  /// Erase: all pages become unprogrammed; state returns to free.
+  void erase_superblock(std::uint64_t sb);
+
+  /// Next offset to be programmed in an open superblock.
+  std::uint64_t write_pointer(std::uint64_t sb) const {
+    return sbs_[sb].next_offset;
+  }
+  bool is_full(std::uint64_t sb) const {
+    return sbs_[sb].next_offset == geom_.pages_per_superblock();
+  }
+  std::uint64_t erase_count(std::uint64_t sb) const {
+    return sbs_[sb].erase_count;
+  }
+
+  // --- Page operations ---
+  /// Program the next page of open superblock `sb`; returns its PPN.
+  Ppn program(std::uint64_t sb, std::uint64_t payload, const OobData& oob);
+
+  /// Read a programmed page's payload.
+  std::uint64_t read(Ppn ppn) const;
+  /// Read a programmed page's OOB area.
+  const OobData& read_oob(Ppn ppn) const;
+  bool is_programmed(Ppn ppn) const { return programmed_[ppn] != 0; }
+
+  // --- Counters ---
+  std::uint64_t total_programs() const { return programs_; }
+  std::uint64_t total_reads() const { return reads_; }
+  std::uint64_t total_erases() const { return erases_; }
+  std::uint64_t max_erase_count() const;
+
+ private:
+  struct SbInfo {
+    SuperblockState state = SuperblockState::kFree;
+    std::uint64_t next_offset = 0;
+    std::uint64_t erase_count = 0;
+  };
+
+  Geometry geom_;
+  std::vector<SbInfo> sbs_;
+  std::vector<std::uint64_t> payload_;
+  std::vector<OobData> oob_;
+  std::vector<std::uint8_t> programmed_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t programs_ = 0;
+  std::uint64_t erases_ = 0;
+  std::uint64_t program_seq_ = 0;
+};
+
+}  // namespace phftl

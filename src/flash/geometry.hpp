@@ -1,0 +1,74 @@
+// NAND flash geometry and address arithmetic.
+//
+// The simulator follows the paper's management model (§II-A): dies are
+// accessed independently; a *superblock* groups all blocks with the same
+// die offset and is the allocation/GC unit. Page allocation inside an open
+// superblock proceeds round-robin across dies, which both exploits inter-die
+// parallelism and preserves the program-pages-in-order rule within each
+// physical block.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace phftl {
+
+using Lpn = std::uint64_t;  ///< logical page number
+using Ppn = std::uint64_t;  ///< physical page number
+inline constexpr Ppn kInvalidPpn = ~0ULL;
+inline constexpr Lpn kInvalidLpn = ~0ULL;
+
+struct Geometry {
+  std::uint32_t num_dies = 8;         ///< channels * dies-per-channel
+  std::uint32_t blocks_per_die = 64;  ///< = number of superblocks
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t page_size = 16 * 1024;  ///< bytes (paper uses 16 KB)
+  std::uint32_t oob_size = 256;         ///< per-page out-of-band bytes
+
+  std::uint64_t num_superblocks() const { return blocks_per_die; }
+  std::uint64_t pages_per_superblock() const {
+    return static_cast<std::uint64_t>(num_dies) * pages_per_block;
+  }
+  std::uint64_t total_pages() const {
+    return num_superblocks() * pages_per_superblock();
+  }
+  std::uint64_t total_bytes() const { return total_pages() * page_size; }
+
+  // --- PPN <-> (superblock, offset) ---
+  Ppn make_ppn(std::uint64_t sb, std::uint64_t offset) const {
+    PHFTL_CHECK(sb < num_superblocks() && offset < pages_per_superblock());
+    return sb * pages_per_superblock() + offset;
+  }
+  std::uint64_t superblock_of(Ppn ppn) const {
+    return ppn / pages_per_superblock();
+  }
+  std::uint64_t offset_of(Ppn ppn) const {
+    return ppn % pages_per_superblock();
+  }
+  /// Die that physically holds the page at `offset` (round-robin layout).
+  std::uint32_t die_of_offset(std::uint64_t offset) const {
+    return static_cast<std::uint32_t>(offset % num_dies);
+  }
+  /// Page index within the physical block on that die.
+  std::uint32_t block_page_of_offset(std::uint64_t offset) const {
+    return static_cast<std::uint32_t>(offset / num_dies);
+  }
+
+  void validate() const {
+    PHFTL_CHECK_MSG(num_dies > 0 && blocks_per_die > 0 && pages_per_block > 0,
+                    "degenerate geometry");
+    PHFTL_CHECK_MSG(page_size >= 512, "page size too small");
+  }
+};
+
+/// NAND operation latencies used by the timing model (TLC-class defaults,
+/// in line with the Cosmos+ OpenSSD and FEMU configurations).
+struct FlashTiming {
+  std::uint64_t read_ns = 65'000;       ///< tR: page sense
+  std::uint64_t program_ns = 700'000;   ///< tProg
+  std::uint64_t erase_ns = 5'000'000;   ///< tBERS
+  std::uint64_t bus_ns_per_kb = 1'200;  ///< channel transfer per KiB
+};
+
+}  // namespace phftl

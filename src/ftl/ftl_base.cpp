@@ -1,0 +1,288 @@
+#include "ftl/ftl_base.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace phftl {
+
+FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
+    : cfg_(cfg),
+      flash_(cfg.geom),
+      logical_pages_(static_cast<std::uint64_t>(
+          static_cast<double>(cfg.geom.total_pages()) *
+          (1.0 - cfg.op_ratio))),
+      num_streams_(num_streams),
+      l2p_(logical_pages_, kInvalidPpn),
+      p2l_(cfg.geom.total_pages(), kInvalidLpn),
+      valid_bit_(cfg.geom.total_pages(), 0),
+      gc_count_(cfg.geom.total_pages(), 0),
+      sb_meta_(cfg.geom.num_superblocks()),
+      open_(num_streams) {
+  PHFTL_CHECK_MSG(num_streams_ >= 1, "at least one stream required");
+  // GC trigger (paper §III-D): collect when the free-superblock proportion
+  // drops below the threshold. The trigger must be *satisfiable*: the
+  // over-provisioned space, expressed in superblocks, has to exceed it, or
+  // GC could never push the free count back above the line.
+  const auto ratio_count = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.geom.num_superblocks()) *
+          cfg.gc_free_threshold +
+      0.999);
+  gc_trigger_count_ = std::max<std::uint64_t>(ratio_count, 2);
+  const auto op_superblocks = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.geom.num_superblocks()) * cfg.op_ratio);
+  PHFTL_CHECK_MSG(op_superblocks >= gc_trigger_count_,
+                  "GC trigger exceeds over-provisioning headroom; use more "
+                  "(or smaller) superblocks");
+  PHFTL_CHECK_MSG(cfg.geom.num_superblocks() > gc_trigger_count_ + num_streams_,
+                  "geometry too small for stream count");
+  for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
+    free_pool_.push_back(sb);
+}
+
+void FtlBase::submit(const HostRequest& req) {
+  PHFTL_CHECK(req.num_pages > 0);
+  PHFTL_CHECK_MSG(req.start_lpn + req.num_pages <= logical_pages_,
+                  "request beyond logical capacity");
+  on_request(req);
+  if (req.op == OpType::kRead) {
+    for (std::uint32_t i = 0; i < req.num_pages; ++i)
+      read_page(req.start_lpn + i);
+    return;
+  }
+  if (req.op == OpType::kTrim) {
+    for (std::uint32_t i = 0; i < req.num_pages; ++i)
+      trim_page(req.start_lpn + i);
+    return;
+  }
+  WriteContext ctx;
+  ctx.timestamp_us = req.timestamp_us;
+  ctx.io_len_pages = req.num_pages;
+  ctx.is_sequential = (req.start_lpn == prev_req_end_);
+  for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+    ctx.now = virtual_clock_;
+    write_page(req.start_lpn + i, ctx);
+  }
+  prev_req_end_ = req.start_lpn + req.num_pages;
+}
+
+void FtlBase::write_page(Lpn lpn, const WriteContext& ctx_in) {
+  PHFTL_CHECK(lpn < logical_pages_);
+  WriteContext ctx = ctx_in;
+  ctx.now = virtual_clock_;
+
+  // Invalidate the old version first: the invalidation hook must observe
+  // the page's state *before* the classifier updates its bookkeeping
+  // (lifetime of the dying version = now - its write time).
+  invalidate(lpn);
+
+  const std::uint32_t stream = classify_user_write(lpn, ctx);
+  PHFTL_CHECK(stream < num_streams_);
+
+  OobData oob;
+  oob.lpn = lpn;
+  oob.write_time = static_cast<std::uint32_t>(virtual_clock_);
+  fill_user_oob(lpn, oob);
+  const Ppn ppn = append(stream, lpn, /*payload=*/lpn ^ 0x5bd1e995ULL, oob);
+  l2p_[lpn] = ppn;
+  gc_count_[ppn] = 0;
+
+  ++stats_.user_writes;
+  ++virtual_clock_;
+  on_host_write_complete(lpn, ppn, ctx);
+  maybe_gc();
+}
+
+std::uint64_t FtlBase::read_page(Lpn lpn) {
+  PHFTL_CHECK(lpn < logical_pages_);
+  on_host_read(lpn);
+  if (l2p_[lpn] == kInvalidPpn) return 0;
+  ++stats_.host_reads;
+  return flash_.read(l2p_[lpn]);
+}
+
+void FtlBase::trim_page(Lpn lpn) {
+  PHFTL_CHECK(lpn < logical_pages_);
+  invalidate(lpn);
+  l2p_[lpn] = kInvalidPpn;
+}
+
+void FtlBase::invalidate(Lpn lpn) {
+  const Ppn old = l2p_[lpn];
+  if (old == kInvalidPpn) return;
+  PHFTL_CHECK_MSG(valid_bit_[old], "mapping points at invalid page");
+  valid_bit_[old] = 0;
+  p2l_[old] = kInvalidLpn;
+  const std::uint64_t sb = geom().superblock_of(old);
+  PHFTL_CHECK(sb_meta_[sb].valid_count > 0);
+  --sb_meta_[sb].valid_count;
+  on_page_invalidated(lpn, old, virtual_clock_);
+}
+
+std::uint64_t FtlBase::allocate_superblock(std::uint32_t stream) {
+  PHFTL_CHECK_MSG(!free_pool_.empty(),
+                  "free pool exhausted: GC cannot make progress");
+  const std::uint64_t sb = free_pool_.front();
+  free_pool_.pop_front();
+  flash_.open_superblock(sb);
+  sb_meta_[sb].stream = stream;
+  sb_meta_[sb].close_time = 0;
+  return sb;
+}
+
+Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
+                    const OobData& oob) {
+  std::uint32_t target = stream;
+  if (open_[stream].sb == OpenStream::kNoSb && free_pool_.empty()) {
+    // Memory-pressure fallback: GC migration may transiently need a fresh
+    // superblock when none is free. Borrow space from any stream that still
+    // has an open superblock (real firmware mixes streams under pressure)
+    // rather than deadlocking; separation quality degrades for those few
+    // pages only.
+    PHFTL_CHECK_MSG(in_gc_, "free pool exhausted outside GC");
+    bool found = false;
+    for (std::uint32_t s = 0; s < num_streams_; ++s) {
+      if (open_[s].sb != OpenStream::kNoSb) {
+        target = s;
+        found = true;
+        break;
+      }
+    }
+    PHFTL_CHECK_MSG(found, "capacity exhausted: no open superblock left");
+    ++stats_.stream_borrows;
+  }
+  OpenStream& os = open_[target];
+  if (os.sb == OpenStream::kNoSb) os.sb = allocate_superblock(target);
+
+  const Ppn ppn = flash_.program(os.sb, payload, oob);
+  p2l_[ppn] = lpn;
+  valid_bit_[ppn] = 1;
+  ++sb_meta_[os.sb].valid_count;
+
+  // Close the superblock when its data region fills. finalize_superblock()
+  // may program meta pages into the tail first (PHFTL, Fig. 4).
+  if (flash_.write_pointer(os.sb) >= data_capacity(os.sb)) {
+    finalize_superblock(os.sb);
+    // Any tail pages finalize did not use are skipped (left unprogrammed);
+    // real firmware pads them. They are simply not mapped.
+    flash_.close_superblock(os.sb);
+    sb_meta_[os.sb].close_time = virtual_clock_;
+    os.sb = OpenStream::kNoSb;
+  }
+  return ppn;
+}
+
+Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
+  PHFTL_CHECK_MSG(flash_.state(sb) == SuperblockState::kOpen,
+                  "meta pages go into the still-open superblock");
+  OobData oob;  // meta pages carry no logical mapping
+  const Ppn ppn = flash_.program(sb, payload, oob);
+  ++stats_.meta_writes;
+  return ppn;
+}
+
+void FtlBase::for_each_closed(
+    const std::function<void(std::uint64_t)>& fn) const {
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb)
+    if (flash_.state(sb) == SuperblockState::kClosed) fn(sb);
+}
+
+void FtlBase::rebuild_mapping_from_flash() {
+  // Wipe the volatile structures.
+  std::fill(l2p_.begin(), l2p_.end(), kInvalidPpn);
+  std::fill(p2l_.begin(), p2l_.end(), kInvalidLpn);
+  std::fill(valid_bit_.begin(), valid_bit_.end(), 0);
+  std::fill(gc_count_.begin(), gc_count_.end(), 0);
+  for (auto& meta : sb_meta_) meta.valid_count = 0;
+
+  // Pass 1: the newest copy (highest program sequence) of each LPN wins.
+  std::vector<std::uint64_t> best_seq(logical_pages_, 0);
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
+    if (flash_.state(sb) == SuperblockState::kFree) continue;
+    const std::uint64_t limit = flash_.write_pointer(sb);
+    for (std::uint64_t off = 0; off < limit; ++off) {
+      const Ppn ppn = geom().make_ppn(sb, off);
+      if (!flash_.is_programmed(ppn)) continue;
+      const OobData& oob = flash_.read_oob(ppn);
+      if (oob.lpn == kInvalidLpn) continue;  // meta page, not user data
+      PHFTL_CHECK(oob.lpn < logical_pages_);
+      if (oob.program_seq > best_seq[oob.lpn]) {
+        best_seq[oob.lpn] = oob.program_seq;
+        l2p_[oob.lpn] = ppn;
+      }
+    }
+  }
+
+  // Pass 2: derive the reverse map, validity, and per-superblock counts.
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    const Ppn ppn = l2p_[lpn];
+    if (ppn == kInvalidPpn) continue;
+    p2l_[ppn] = lpn;
+    valid_bit_[ppn] = 1;
+    gc_count_[ppn] = flash_.read_oob(ppn).gc_count;
+    ++sb_meta_[geom().superblock_of(ppn)].valid_count;
+  }
+}
+
+void FtlBase::maybe_gc() {
+  if (in_gc_) return;
+  std::uint64_t rounds = 0;
+  while (free_pool_.size() < gc_trigger_count_) {
+    PHFTL_CHECK_MSG(rounds++ < geom().num_superblocks() * 8,
+                    "GC not converging");
+    if (!gc_once()) break;  // nothing reclaimable right now
+  }
+}
+
+bool FtlBase::gc_once() {
+  const std::uint64_t victim = pick_victim();
+  PHFTL_CHECK_MSG(victim != kNoVictim, "no GC victim available");
+  PHFTL_CHECK(flash_.state(victim) == SuperblockState::kClosed);
+  // A fully valid victim reclaims nothing: collecting it would only churn
+  // pages. Transiently possible when the free target is momentarily
+  // unreachable; back off and let future invalidations create headroom.
+  if (sb_meta_[victim].valid_count >= data_capacity(victim)) return false;
+  in_gc_ = true;
+  ++stats_.gc_invocations;
+
+  const std::uint64_t pages = geom().pages_per_superblock();
+  for (std::uint64_t off = 0; off < pages; ++off) {
+    const Ppn ppn = geom().make_ppn(victim, off);
+    if (!valid_bit_[ppn]) continue;
+    const Lpn lpn = p2l_[ppn];
+    PHFTL_CHECK(lpn != kInvalidLpn && l2p_[lpn] == ppn);
+
+    // Read the page (payload + OOB metadata copy; §III-C: the OOB copy
+    // spares GC from reading meta pages).
+    const std::uint64_t payload = flash_.read(ppn);
+    ++stats_.gc_reads;
+    OobData oob = flash_.read_oob(ppn);
+
+    const std::uint8_t new_count = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(gc_count_[ppn] + 1, cfg_.max_gc_streams));
+    oob.gc_count = new_count;  // keep the OOB copy recovery-accurate
+    const std::uint32_t stream = classify_gc_write(lpn, new_count, oob);
+    PHFTL_CHECK(stream < num_streams_);
+
+    // Invalidate old location, then append to the GC stream.
+    valid_bit_[ppn] = 0;
+    p2l_[ppn] = kInvalidLpn;
+    PHFTL_CHECK(sb_meta_[victim].valid_count > 0);
+    --sb_meta_[victim].valid_count;
+
+    const Ppn new_ppn = append(stream, lpn, payload, oob);
+    l2p_[lpn] = new_ppn;
+    gc_count_[new_ppn] = new_count;
+    ++stats_.gc_writes;
+    on_gc_write_complete(lpn, new_ppn, oob);
+  }
+  PHFTL_CHECK(sb_meta_[victim].valid_count == 0);
+  on_superblock_erased(victim);
+  flash_.erase_superblock(victim);
+  ++stats_.erases;
+  free_pool_.push_back(victim);
+  in_gc_ = false;
+  return true;
+}
+
+}  // namespace phftl

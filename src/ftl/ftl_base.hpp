@@ -1,0 +1,189 @@
+// FTL framework: mapping, stream-based allocation, and the GC engine.
+//
+// FtlBase owns everything every FTL variant shares — the page-granularity
+// L2P/P2L tables, per-superblock validity accounting, multi-stream open-
+// superblock allocation, the free pool, and the GC loop — and delegates the
+// policy decisions that differentiate the paper's schemes to virtuals:
+//
+//   * classify_user_write() — which stream a host-written page goes to
+//     (Base: single stream; 2R: user stream; SepBIT: class 1/2 by inferred
+//     lifetime; PHFTL: short-/long-living by the Page Classifier),
+//   * classify_gc_write()  — stream for a GC-migrated page,
+//   * pick_victim()        — victim-selection policy,
+//   * finalize_superblock()— hook run when a superblock fills, before it is
+//     closed (PHFTL programs its ML meta pages here, paper Fig. 4).
+//
+// The virtual clock counts host-written logical pages; the paper defines
+// page lifetime in this clock (§III-B) and Eq. 1's "elapsed time" C in it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flash/flash_array.hpp"
+#include "flash/geometry.hpp"
+#include "ftl/request.hpp"
+#include "ftl/stats.hpp"
+
+namespace phftl {
+
+struct FtlConfig {
+  Geometry geom;
+  double op_ratio = 0.07;               ///< over-provisioning (paper: 7 %)
+  double gc_free_threshold = 0.05;      ///< GC when free-superblock ratio < 5 %
+  std::uint32_t max_gc_streams = 5;     ///< GC-count separation cap (paper: 5+)
+};
+
+class FtlBase {
+ public:
+  FtlBase(const FtlConfig& cfg, std::uint32_t num_streams);
+  virtual ~FtlBase() = default;
+
+  FtlBase(const FtlBase&) = delete;
+  FtlBase& operator=(const FtlBase&) = delete;
+
+  /// Number of logical pages exported to the host.
+  std::uint64_t logical_pages() const { return logical_pages_; }
+
+  /// Submit a block-layer request; pages are processed in order.
+  void submit(const HostRequest& req);
+
+  /// Single-page operations (page-granularity convenience API).
+  void write_page(Lpn lpn, const WriteContext& ctx);
+  /// Returns the stored payload, or 0 if the page was never written.
+  std::uint64_t read_page(Lpn lpn);
+  /// Discard a logical page (TRIM).
+  void trim_page(Lpn lpn);
+
+  bool is_mapped(Lpn lpn) const { return l2p_[lpn] != kInvalidPpn; }
+  Ppn lookup(Lpn lpn) const { return l2p_[lpn]; }
+
+  const FtlStats& stats() const { return stats_; }
+  const FlashArray& flash() const { return flash_; }
+  const FtlConfig& config() const { return cfg_; }
+  std::uint64_t virtual_clock() const { return virtual_clock_; }
+  std::uint64_t free_superblock_count() const { return free_pool_.size(); }
+  std::uint32_t num_streams() const { return num_streams_; }
+
+  /// Human-readable scheme name for benchmark tables.
+  virtual std::string name() const = 0;
+
+  /// Mount-time recovery: rebuild the L2P table, validity bitmaps, and
+  /// per-superblock accounting purely from the flash array's OOB areas
+  /// (the in-RAM mapping is lost on power failure). For each LPN the copy
+  /// with the highest program sequence number wins. Policy-side state
+  /// (classifier, heuristic tables) is *not* reconstructed — schemes
+  /// relearn it, as real devices do after an unclean shutdown.
+  void rebuild_mapping_from_flash();
+
+  // --- Introspection used by victim policies and tests ---
+  std::uint64_t valid_count(std::uint64_t sb) const {
+    return sb_meta_[sb].valid_count;
+  }
+  std::uint64_t close_time(std::uint64_t sb) const {
+    return sb_meta_[sb].close_time;
+  }
+  std::uint32_t stream_of(std::uint64_t sb) const {
+    return sb_meta_[sb].stream;
+  }
+  bool page_valid(Ppn ppn) const { return valid_bit_[ppn] != 0; }
+  Lpn page_lpn(Ppn ppn) const { return p2l_[ppn]; }
+  std::uint8_t page_gc_count(Ppn ppn) const { return gc_count_[ppn]; }
+
+  /// Iterate closed superblocks (victim candidates).
+  void for_each_closed(const std::function<void(std::uint64_t)>& fn) const;
+
+ protected:
+  // --- Policy hooks ---
+  virtual std::uint32_t classify_user_write(Lpn lpn,
+                                            const WriteContext& ctx) = 0;
+  virtual std::uint32_t classify_gc_write(Lpn lpn, std::uint8_t gc_count,
+                                          const OobData& oob) = 0;
+  /// Pick a victim among closed superblocks; kNoVictim aborts this GC round.
+  virtual std::uint64_t pick_victim() = 0;
+  static constexpr std::uint64_t kNoVictim = ~0ULL;
+
+  /// Pages of a superblock usable for data (rest reserved for meta pages).
+  virtual std::uint64_t data_capacity(std::uint64_t /*sb*/) const {
+    return geom().pages_per_superblock();
+  }
+  /// Called when a superblock's data region fills, before close. PHFTL
+  /// programs meta pages here via program_meta_page().
+  virtual void finalize_superblock(std::uint64_t /*sb*/) {}
+  /// Notification hooks.
+  virtual void on_page_invalidated(Lpn /*lpn*/, Ppn /*ppn*/,
+                                   std::uint64_t /*now*/) {}
+  virtual void on_superblock_erased(std::uint64_t /*sb*/) {}
+  virtual void on_host_read(Lpn /*lpn*/) {}
+  /// Called once per submitted request, before its pages are processed
+  /// (PHFTL's feature tracker consumes request-level statistics here).
+  virtual void on_request(const HostRequest& /*req*/) {}
+  /// Called once per host page write after the page has been appended.
+  virtual void on_host_write_complete(Lpn /*lpn*/, Ppn /*ppn*/,
+                                      const WriteContext& /*ctx*/) {}
+  /// Called after a GC migration has appended the page at `new_ppn`.
+  virtual void on_gc_write_complete(Lpn /*lpn*/, Ppn /*new_ppn*/,
+                                    const OobData& /*oob*/) {}
+  /// Let the subclass add fields to a user-written page's OOB area
+  /// (PHFTL stores the page's new hidden state there, §III-C).
+  virtual void fill_user_oob(Lpn /*lpn*/, OobData& /*oob*/) {}
+
+  // --- Services for subclasses ---
+  const Geometry& geom() const { return cfg_.geom; }
+  FlashArray& flash_mut() { return flash_; }
+  FtlStats& stats_mut() { return stats_; }
+
+  /// Program one meta page into the open superblock tail (counts as a meta
+  /// write). Only legal inside finalize_superblock().
+  Ppn program_meta_page(std::uint64_t sb, std::uint64_t payload);
+  /// Account a meta-page read (metadata cache miss).
+  void note_meta_read() { ++stats_.meta_reads; }
+
+  /// True while the GC engine is migrating pages (lets hooks distinguish
+  /// user-triggered invalidations from GC ones).
+  bool in_gc() const { return in_gc_; }
+
+ private:
+  struct SbMeta {
+    std::uint64_t valid_count = 0;
+    std::uint64_t close_time = 0;  ///< virtual clock when closed
+    std::uint32_t stream = 0;
+  };
+  struct OpenStream {
+    std::uint64_t sb = kNoSb;
+    static constexpr std::uint64_t kNoSb = ~0ULL;
+  };
+
+  /// Append one page to `stream`, handling superblock open/finalize/close.
+  Ppn append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
+             const OobData& oob);
+  void invalidate(Lpn lpn);
+  std::uint64_t allocate_superblock(std::uint32_t stream);
+  void maybe_gc();
+  /// One GC round; returns false when the best victim reclaims nothing.
+  bool gc_once();
+
+  FtlConfig cfg_;
+  FlashArray flash_;
+  std::uint64_t logical_pages_;
+  std::uint32_t num_streams_;
+  std::uint64_t gc_trigger_count_;
+
+  std::vector<Ppn> l2p_;
+  std::vector<Lpn> p2l_;
+  std::vector<std::uint8_t> valid_bit_;
+  std::vector<std::uint8_t> gc_count_;
+  std::vector<SbMeta> sb_meta_;
+  std::vector<OpenStream> open_;
+  std::deque<std::uint64_t> free_pool_;
+
+  FtlStats stats_;
+  std::uint64_t virtual_clock_ = 0;
+  std::uint64_t prev_req_end_ = kInvalidLpn;
+  bool in_gc_ = false;
+};
+
+}  // namespace phftl

@@ -1,0 +1,28 @@
+// Host I/O request model shared by traces, FTLs, and the device layer.
+#pragma once
+
+#include <cstdint>
+
+#include "flash/geometry.hpp"
+
+namespace phftl {
+
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1, kTrim = 2 };
+
+/// One block-layer request, already aligned to page granularity.
+struct HostRequest {
+  std::uint64_t timestamp_us = 0;  ///< arrival time (trace timestamp)
+  OpType op = OpType::kWrite;
+  Lpn start_lpn = 0;
+  std::uint32_t num_pages = 1;
+};
+
+/// Per-page context handed to an FTL's user-write classifier.
+struct WriteContext {
+  std::uint64_t now = 0;           ///< virtual clock: host pages written so far
+  std::uint64_t timestamp_us = 0;  ///< wall-clock trace timestamp
+  std::uint32_t io_len_pages = 1;  ///< size of the containing request
+  bool is_sequential = false;      ///< request starts where the previous ended
+};
+
+}  // namespace phftl

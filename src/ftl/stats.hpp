@@ -1,0 +1,36 @@
+// Write-amplification and flash-operation accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace phftl {
+
+struct FtlStats {
+  std::uint64_t user_writes = 0;  ///< host pages written (U)
+  std::uint64_t gc_writes = 0;    ///< valid-page migrations during GC
+  std::uint64_t meta_writes = 0;  ///< ML meta pages programmed (PHFTL only)
+  std::uint64_t host_reads = 0;   ///< host pages read
+  std::uint64_t gc_reads = 0;     ///< page reads performed by GC migration
+  std::uint64_t meta_reads = 0;   ///< meta-page reads (metadata cache misses)
+  std::uint64_t erases = 0;       ///< superblock erases
+  std::uint64_t gc_invocations = 0;
+  /// GC appends redirected to another stream under free-pool pressure.
+  std::uint64_t stream_borrows = 0;
+
+  /// Total flash page programs (F).
+  std::uint64_t flash_writes() const {
+    return user_writes + gc_writes + meta_writes;
+  }
+
+  /// Paper §V-B: WA = (F - U) / U, reported as a percentage in Fig. 5.
+  double write_amplification() const {
+    return user_writes == 0
+               ? 0.0
+               : static_cast<double>(flash_writes() - user_writes) /
+                     static_cast<double>(user_writes);
+  }
+
+  void reset() { *this = FtlStats{}; }
+};
+
+}  // namespace phftl

@@ -1,0 +1,92 @@
+// Victim-selection scoring functions.
+//
+// All policies pick the *highest*-scoring closed superblock:
+//   * Greedy: score = invalid fraction. Optimal for uniform workloads,
+//     short-sighted under skew.
+//   * Cost-Benefit (Rosenblum & Ousterhout, LFS): benefit/cost =
+//     (1 - u) * age / (2u) — favours old, mostly-invalid segments. Used for
+//     baselines whose papers did not specify a policy (paper §V-A).
+//   * Adjusted Greedy (paper Eq. 1): greedy, but superblocks holding
+//     short-living pages are discounted by V^(T/C) so that hot blocks get
+//     more time to self-invalidate — unless they have been closed for long
+//     (large C ⇒ exponent T/C → 0 ⇒ discount → 1), which "remedies wrong
+//     predictions": pages still valid long after close were probably
+//     mispredicted as short-living and should be reclaimed normally.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "ftl/ftl_base.hpp"
+
+namespace phftl {
+
+inline double greedy_score(double invalid_fraction) {
+  return invalid_fraction;
+}
+
+inline double cost_benefit_score(double invalid_fraction, double age) {
+  const double u = 1.0 - invalid_fraction;  // utilization
+  if (u <= 0.0) return std::numeric_limits<double>::infinity();
+  return (1.0 - u) * age / (2.0 * u);
+}
+
+/// Paper Eq. 1: score = I · V^(T/C) for superblocks holding short-living
+/// pages, score = I otherwise. `threshold` is the classification threshold T
+/// and `elapsed` is C (time since close), both in virtual-clock pages.
+///
+/// Eq. 1's typography is ambiguous in the paper; this form is the one that
+/// satisfies every property the prose states:
+///  * "lower priority to hot pages": a freshly closed short-living
+///    superblock (C << T) has V^(T/C) ≈ 0 — it is left alone so its pages
+///    can self-invalidate;
+///  * "closed earlier has a lower discount factor": as C grows, the
+///    multiplier rises toward 1 and the block competes as plain greedy —
+///    pages still valid long after close were likely *mispredicted* as
+///    short-living and should be reclaimed ("false short-living pages
+///    should be favored over true ones");
+///  * the score stays bounded by I, so a hot block can never spuriously
+///    outrank a fully invalid victim.
+inline double adjusted_greedy_score(double invalid_fraction,
+                                    double valid_fraction, bool short_living,
+                                    double threshold, double elapsed) {
+  if (!short_living) return invalid_fraction;
+  if (elapsed <= 0.0) elapsed = 1.0;
+  if (threshold <= 0.0) threshold = 1.0;
+  double exponent = threshold / elapsed;
+  if (exponent > 60.0) exponent = 60.0;  // keep pow() well-conditioned
+  if (valid_fraction <= 0.0) return invalid_fraction;  // nothing to discount
+  return invalid_fraction * std::pow(valid_fraction, exponent);
+}
+
+/// Generic arg-max over closed superblocks. `score(sb)` may return -inf to
+/// exclude a candidate. Returns FtlBase::kNoVictim-compatible ~0 when no
+/// closed superblock exists.
+template <typename ScoreFn>
+std::uint64_t select_victim(const FtlBase& ftl, ScoreFn&& score) {
+  std::uint64_t best_sb = ~0ULL;
+  double best = -std::numeric_limits<double>::infinity();
+  ftl.for_each_closed([&](std::uint64_t sb) {
+    const double s = score(sb);
+    if (s > best) {
+      best = s;
+      best_sb = sb;
+    }
+  });
+  return best_sb;
+}
+
+/// Fraction helpers shared by the concrete FTLs.
+inline double invalid_fraction_of(const FtlBase& ftl, std::uint64_t sb) {
+  const double pages =
+      static_cast<double>(ftl.config().geom.pages_per_superblock());
+  return 1.0 - static_cast<double>(ftl.valid_count(sb)) / pages;
+}
+inline double valid_fraction_of(const FtlBase& ftl, std::uint64_t sb) {
+  const double pages =
+      static_cast<double>(ftl.config().geom.pages_per_superblock());
+  return static_cast<double>(ftl.valid_count(sb)) / pages;
+}
+
+}  // namespace phftl

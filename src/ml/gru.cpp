@@ -1,0 +1,222 @@
+#include "ml/gru.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace phftl::ml {
+
+float softmax_cross_entropy(std::span<const float> logits, int label,
+                            std::span<float> probs) {
+  PHFTL_CHECK(logits.size() == probs.size());
+  std::copy(logits.begin(), logits.end(), probs.begin());
+  softmax(probs);
+  const float p = probs[static_cast<std::size_t>(label)];
+  return -std::log(p > 1e-12f ? p : 1e-12f);
+}
+
+GruClassifier::GruClassifier(const Config& cfg)
+    : cfg_(cfg),
+      adam_(0, cfg.adam),
+      wz_(store_.alloc_matrix(cfg.hidden_dim, cfg.input_dim)),
+      wr_(store_.alloc_matrix(cfg.hidden_dim, cfg.input_dim)),
+      wn_(store_.alloc_matrix(cfg.hidden_dim, cfg.input_dim)),
+      uz_(store_.alloc_matrix(cfg.hidden_dim, cfg.hidden_dim)),
+      ur_(store_.alloc_matrix(cfg.hidden_dim, cfg.hidden_dim)),
+      un_(store_.alloc_matrix(cfg.hidden_dim, cfg.hidden_dim)),
+      bz_(store_.alloc_vector(cfg.hidden_dim)),
+      br_(store_.alloc_vector(cfg.hidden_dim)),
+      bn_(store_.alloc_vector(cfg.hidden_dim)),
+      bun_(store_.alloc_vector(cfg.hidden_dim)),
+      wo_(store_.alloc_matrix(cfg.num_classes, cfg.hidden_dim)),
+      bo_(store_.alloc_vector(cfg.num_classes)) {
+  Xoshiro256 rng(cfg.seed);
+  for (std::size_t id : {wz_, wr_, wn_, uz_, ur_, un_, wo_})
+    store_.init_glorot(id, rng);
+  adam_ = Adam(store_.size(), cfg.adam);
+}
+
+void GruClassifier::step(std::span<const float> x,
+                         std::span<const float> h_prev,
+                         std::span<float> h_next) const {
+  const std::size_t h = cfg_.hidden_dim;
+  std::vector<float> z(h), r(h), n(h), s(h);
+
+  matvec(store_.param_matrix(wz_), x, z);
+  matvec_acc(store_.param_matrix(uz_), h_prev, z);
+  axpy(1.0f, store_.param_vector(bz_), z);
+  for (auto& v : z) v = sigmoidf(v);
+
+  matvec(store_.param_matrix(wr_), x, r);
+  matvec_acc(store_.param_matrix(ur_), h_prev, r);
+  axpy(1.0f, store_.param_vector(br_), r);
+  for (auto& v : r) v = sigmoidf(v);
+
+  matvec(store_.param_matrix(un_), h_prev, s);
+  axpy(1.0f, store_.param_vector(bun_), s);
+  matvec(store_.param_matrix(wn_), x, n);
+  axpy(1.0f, store_.param_vector(bn_), n);
+  for (std::size_t i = 0; i < h; ++i) n[i] = std::tanh(n[i] + r[i] * s[i]);
+
+  for (std::size_t i = 0; i < h; ++i)
+    h_next[i] = (1.0f - z[i]) * n[i] + z[i] * h_prev[i];
+}
+
+void GruClassifier::head(std::span<const float> h,
+                         std::span<float> logits) const {
+  matvec(store_.param_matrix(wo_), h, logits);
+  axpy(1.0f, store_.param_vector(bo_), logits);
+}
+
+int GruClassifier::predict_sequence(
+    const std::vector<std::vector<float>>& steps) const {
+  std::vector<float> h(cfg_.hidden_dim, 0.0f);
+  for (const auto& x : steps) step(x, h, h);
+  std::vector<float> logits(cfg_.num_classes);
+  head(h, logits);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+int GruClassifier::predict_incremental(std::span<const float> x,
+                                       std::span<float> h_inout) const {
+  step(x, h_inout, h_inout);
+  std::vector<float> logits(cfg_.num_classes);
+  head(h_inout, logits);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+float GruClassifier::backward_sequence(const Sequence& seq) {
+  const std::size_t hd = cfg_.hidden_dim;
+  const std::size_t steps = seq.steps.size();
+  PHFTL_CHECK(steps > 0);
+
+  // ---- Forward pass, caching activations per step. ----
+  std::vector<StepActs> acts(steps);
+  std::vector<float> h_prev(hd, 0.0f);
+  for (std::size_t t = 0; t < steps; ++t) {
+    StepActs& a = acts[t];
+    const auto& x = seq.steps[t];
+    PHFTL_CHECK(x.size() == cfg_.input_dim);
+    a.x = x;
+    a.z.assign(hd, 0.0f);
+    a.r.assign(hd, 0.0f);
+    a.n.assign(hd, 0.0f);
+    a.s.assign(hd, 0.0f);
+    a.h.assign(hd, 0.0f);
+
+    matvec(store_.param_matrix(wz_), a.x, a.z);
+    matvec_acc(store_.param_matrix(uz_), h_prev, a.z);
+    axpy(1.0f, store_.param_vector(bz_), a.z);
+    for (auto& v : a.z) v = sigmoidf(v);
+
+    matvec(store_.param_matrix(wr_), a.x, a.r);
+    matvec_acc(store_.param_matrix(ur_), h_prev, a.r);
+    axpy(1.0f, store_.param_vector(br_), a.r);
+    for (auto& v : a.r) v = sigmoidf(v);
+
+    matvec(store_.param_matrix(un_), h_prev, a.s);
+    axpy(1.0f, store_.param_vector(bun_), a.s);
+    matvec(store_.param_matrix(wn_), a.x, a.n);
+    axpy(1.0f, store_.param_vector(bn_), a.n);
+    for (std::size_t i = 0; i < hd; ++i)
+      a.n[i] = std::tanh(a.n[i] + a.r[i] * a.s[i]);
+
+    for (std::size_t i = 0; i < hd; ++i)
+      a.h[i] = (1.0f - a.z[i]) * a.n[i] + a.z[i] * h_prev[i];
+    h_prev = a.h;
+  }
+
+  // ---- Head + loss. ----
+  std::vector<float> logits(cfg_.num_classes), probs(cfg_.num_classes);
+  head(acts.back().h, logits);
+  const float loss = softmax_cross_entropy(logits, seq.label, probs);
+
+  // dlogits = probs - onehot(label)
+  std::vector<float> dlogits = probs;
+  dlogits[static_cast<std::size_t>(seq.label)] -= 1.0f;
+
+  outer_acc(dlogits, acts.back().h, store_.grad_matrix(wo_));
+  axpy(1.0f, dlogits, store_.grad_vector(bo_));
+
+  std::vector<float> dh(hd, 0.0f);
+  matvec_transpose_acc(store_.param_matrix(wo_), dlogits, dh);
+
+  // ---- BPTT. ----
+  std::vector<float> dz(hd), dr(hd), dn(hd), ds(hd), daz(hd), dar(hd),
+      dan(hd), dh_prev(hd);
+  const std::vector<float> zero_h(hd, 0.0f);
+  for (std::size_t ti = steps; ti-- > 0;) {
+    const StepActs& a = acts[ti];
+    std::span<const float> h_before =
+        ti == 0 ? std::span<const float>(zero_h)
+                : std::span<const float>(acts[ti - 1].h);
+
+    fill(dh_prev, 0.0f);
+    for (std::size_t i = 0; i < hd; ++i) {
+      dz[i] = dh[i] * (h_before[i] - a.n[i]);
+      dn[i] = dh[i] * (1.0f - a.z[i]);
+      dh_prev[i] = dh[i] * a.z[i];
+    }
+    for (std::size_t i = 0; i < hd; ++i) {
+      dan[i] = dn[i] * (1.0f - a.n[i] * a.n[i]);
+      dr[i] = dan[i] * a.s[i];
+      ds[i] = dan[i] * a.r[i];
+      daz[i] = dz[i] * a.z[i] * (1.0f - a.z[i]);
+      dar[i] = dr[i] * a.r[i] * (1.0f - a.r[i]);
+    }
+
+    outer_acc(dan, a.x, store_.grad_matrix(wn_));
+    axpy(1.0f, dan, store_.grad_vector(bn_));
+    outer_acc(ds, h_before, store_.grad_matrix(un_));
+    axpy(1.0f, ds, store_.grad_vector(bun_));
+    matvec_transpose_acc(store_.param_matrix(un_), ds, dh_prev);
+
+    outer_acc(daz, a.x, store_.grad_matrix(wz_));
+    outer_acc(daz, h_before, store_.grad_matrix(uz_));
+    axpy(1.0f, daz, store_.grad_vector(bz_));
+    matvec_transpose_acc(store_.param_matrix(uz_), daz, dh_prev);
+
+    outer_acc(dar, a.x, store_.grad_matrix(wr_));
+    outer_acc(dar, h_before, store_.grad_matrix(ur_));
+    axpy(1.0f, dar, store_.grad_vector(br_));
+    matvec_transpose_acc(store_.param_matrix(ur_), dar, dh_prev);
+
+    dh = dh_prev;
+  }
+  return loss;
+}
+
+float GruClassifier::train_epoch(const std::vector<Sequence>& data,
+                                 std::size_t batch_size, Xoshiro256& rng) {
+  if (data.empty()) return 0.0f;
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  deterministic_shuffle(order, rng);
+
+  double total_loss = 0.0;
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    const std::size_t end = std::min(pos + batch_size, order.size());
+    store_.zero_grads();
+    for (std::size_t i = pos; i < end; ++i)
+      total_loss += backward_sequence(data[order[i]]);
+    // Average the batch gradient.
+    const float inv = 1.0f / static_cast<float>(end - pos);
+    for (auto& g : store_.all_grads()) g *= inv;
+    adam_.step(store_.all_params(), store_.all_grads());
+    pos = end;
+  }
+  return static_cast<float>(total_loss / static_cast<double>(data.size()));
+}
+
+float GruClassifier::evaluate(const std::vector<Sequence>& data) const {
+  if (data.empty()) return 0.0f;
+  std::size_t correct = 0;
+  for (const auto& s : data)
+    if (predict_sequence(s.steps) == s.label) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+}  // namespace phftl::ml

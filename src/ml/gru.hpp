@@ -1,0 +1,118 @@
+// Single-layer GRU binary classifier — the Page Classifier model of
+// paper §III-B / Fig. 3.
+//
+// Architecture: GRU (hidden size H, default 32) over a feature time series,
+// followed by a fully connected layer producing 2 logits; argmax yields the
+// short-living / long-living prediction. Trained with softmax cross-entropy
+// and Adam for one epoch per window (paper §III-B).
+//
+// Gate convention (matches PyTorch's nn.GRU):
+//   z_t = sigmoid(Wz x_t + Uz h_{t-1} + bz)           update gate
+//   r_t = sigmoid(Wr x_t + Ur h_{t-1} + br)           reset gate
+//   n_t = tanh(Wn x_t + bn + r_t ⊙ (Un h_{t-1} + bun)) candidate
+//   h_t = (1 - z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+//
+// The class supports both full-sequence forward (host-side training and the
+// seq-length ablation) and single-step forward from a cached hidden state
+// (device-side O(1) incremental prediction, paper §III-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/param_store.hpp"
+#include "ml/tensor.hpp"
+
+namespace phftl::ml {
+
+/// One training sample: a feature time series plus a binary label.
+struct Sequence {
+  std::vector<std::vector<float>> steps;  // each of input_dim
+  int label = 0;                          // 1 = short-living (positive)
+};
+
+class GruClassifier {
+ public:
+  struct Config {
+    std::size_t input_dim = 20;
+    std::size_t hidden_dim = 32;
+    std::size_t num_classes = 2;
+    Adam::Config adam;
+    std::uint64_t seed = 42;
+  };
+
+  explicit GruClassifier(const Config& cfg);
+
+  std::size_t input_dim() const { return cfg_.input_dim; }
+  std::size_t hidden_dim() const { return cfg_.hidden_dim; }
+
+  /// One GRU step: h_next = cell(x, h_prev). Any of the spans may alias.
+  void step(std::span<const float> x, std::span<const float> h_prev,
+            std::span<float> h_next) const;
+
+  /// Logits from a hidden state.
+  void head(std::span<const float> h, std::span<float> logits) const;
+
+  /// Full-sequence prediction (zero initial hidden state).
+  /// Returns predicted class.
+  int predict_sequence(const std::vector<std::vector<float>>& steps) const;
+
+  /// Single-step incremental prediction from a cached hidden state,
+  /// writing the updated hidden state back. Returns predicted class.
+  int predict_incremental(std::span<const float> x,
+                          std::span<float> h_inout) const;
+
+  /// Train one epoch over `data` with minibatch Adam.
+  /// Returns mean cross-entropy loss over the epoch.
+  float train_epoch(const std::vector<Sequence>& data, std::size_t batch_size,
+                    Xoshiro256& rng);
+
+  /// Fraction of sequences classified correctly.
+  float evaluate(const std::vector<Sequence>& data) const;
+
+  /// Raw weights for deployment / quantization.
+  std::vector<float> weights() const { return store_.snapshot(); }
+  void load_weights(std::span<const float> w) { store_.restore(w); }
+  std::size_t num_params() const { return store_.size(); }
+
+  /// Accessors used by the int8 quantizer (row-major [H x in] / [H x H]).
+  ConstMatView wz() const { return store_.param_matrix(wz_); }
+  ConstMatView wr() const { return store_.param_matrix(wr_); }
+  ConstMatView wn() const { return store_.param_matrix(wn_); }
+  ConstMatView uz() const { return store_.param_matrix(uz_); }
+  ConstMatView ur() const { return store_.param_matrix(ur_); }
+  ConstMatView un() const { return store_.param_matrix(un_); }
+  std::span<const float> bz() const { return store_.param_vector(bz_); }
+  std::span<const float> br() const { return store_.param_vector(br_); }
+  std::span<const float> bn() const { return store_.param_vector(bn_); }
+  std::span<const float> bun() const { return store_.param_vector(bun_); }
+  ConstMatView wo() const { return store_.param_matrix(wo_); }
+  std::span<const float> bo() const { return store_.param_vector(bo_); }
+
+  /// Accumulate gradients for one sequence (used by train_epoch and the
+  /// gradient-check test). Returns the sample's cross-entropy loss.
+  float backward_sequence(const Sequence& seq);
+
+  ParamStore& store() { return store_; }
+
+ private:
+  struct StepActs {
+    std::vector<float> x, z, r, n, h, s;  // s = Un h_prev + bun
+  };
+
+  Config cfg_;
+  ParamStore store_;
+  Adam adam_;
+
+  // Segment ids in the store.
+  std::size_t wz_, wr_, wn_, uz_, ur_, un_;
+  std::size_t bz_, br_, bn_, bun_;
+  std::size_t wo_, bo_;
+};
+
+/// Softmax cross-entropy: fills `probs` and returns loss for `label`.
+float softmax_cross_entropy(std::span<const float> logits, int label,
+                            std::span<float> probs);
+
+}  // namespace phftl::ml

@@ -1,0 +1,57 @@
+// Two-layer MLP binary classifier — the non-recurrent alternative the
+// paper's design exploration rejected (§III-B: "after exploring a wide
+// variety of machine learning models ... we finalized the Page Classifier
+// to a lightweight sequence model").
+//
+// The MLP sees only a single (e.g. most recent) feature vector, so it
+// cannot exploit prolonged historical patterns; `bench_ablation_model`
+// quantifies the gap against the GRU. Architecture: input → H ReLU → 2
+// logits, softmax cross-entropy, Adam.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/param_store.hpp"
+#include "ml/tensor.hpp"
+
+namespace phftl::ml {
+
+class MlpClassifier {
+ public:
+  struct Config {
+    std::size_t input_dim = 20;
+    std::size_t hidden_dim = 32;
+    std::size_t num_classes = 2;
+    AdamConfig adam;
+    std::uint64_t seed = 17;
+  };
+
+  explicit MlpClassifier(const Config& cfg);
+
+  int predict(std::span<const float> x) const;
+  void logits(std::span<const float> x, std::span<float> out) const;
+
+  /// Accumulate gradients for one labelled sample; returns its loss.
+  float backward(std::span<const float> x, int label);
+
+  /// One epoch of minibatch Adam on (features, labels).
+  float train_epoch(const std::vector<std::vector<float>>& features,
+                    const std::vector<int>& labels, std::size_t batch_size,
+                    Xoshiro256& rng);
+
+  float evaluate(const std::vector<std::vector<float>>& features,
+                 const std::vector<int>& labels) const;
+
+  std::size_t num_params() const { return store_.size(); }
+  ParamStore& store() { return store_; }
+
+ private:
+  Config cfg_;
+  ParamStore store_;
+  Adam adam_;
+  std::size_t w1_, b1_, w2_, b2_;
+};
+
+}  // namespace phftl::ml

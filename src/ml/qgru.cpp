@@ -1,0 +1,133 @@
+#include "ml/qgru.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace phftl::ml {
+
+QMat QMat::from(ConstMatView m) {
+  QMat q;
+  q.rows = m.rows;
+  q.cols = m.cols;
+  q.data.resize(m.size());
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    max_abs = std::max(max_abs, std::fabs(m.data[i]));
+  q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / q.scale;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    float v = m.data[i] * inv;
+    v = std::clamp(v, -127.0f, 127.0f);
+    q.data[i] = static_cast<std::int8_t>(v >= 0 ? v + 0.5f : v - 0.5f);
+  }
+  return q;
+}
+
+QuantizedGru::QuantizedGru(const GruClassifier& model)
+    : input_dim_(model.input_dim()),
+      hidden_dim_(model.hidden_dim()),
+      wz_(QMat::from(model.wz())),
+      wr_(QMat::from(model.wr())),
+      wn_(QMat::from(model.wn())),
+      uz_(QMat::from(model.uz())),
+      ur_(QMat::from(model.ur())),
+      un_(QMat::from(model.un())),
+      wo_(QMat::from(model.wo())) {
+  auto copy = [](std::span<const float> s) {
+    return std::vector<float>(s.begin(), s.end());
+  };
+  bz_ = copy(model.bz());
+  br_ = copy(model.br());
+  bn_ = copy(model.bn());
+  bun_ = copy(model.bun());
+  bo_ = copy(model.bo());
+}
+
+void QuantizedGru::gate_preact(const QMat& w, const QMat& u,
+                               std::span<const std::int8_t> xq,
+                               std::span<const std::int8_t> hq,
+                               std::span<const float> bias,
+                               std::span<float> out) const {
+  // Input scale is fixed 1/127 (features are hex digits normalized to
+  // [0, 1]); hidden scale is kHiddenScale.
+  const float x_scale = 1.0f / 127.0f;
+  for (std::size_t r = 0; r < hidden_dim_; ++r) {
+    std::int32_t acc_x = 0;
+    const std::int8_t* wr = w.data.data() + r * w.cols;
+    for (std::size_t c = 0; c < w.cols; ++c)
+      acc_x += static_cast<std::int32_t>(wr[c]) * xq[c];
+    std::int32_t acc_h = 0;
+    const std::int8_t* ur = u.data.data() + r * u.cols;
+    for (std::size_t c = 0; c < u.cols; ++c)
+      acc_h += static_cast<std::int32_t>(ur[c]) * hq[c];
+    out[r] = static_cast<float>(acc_x) * w.scale * x_scale +
+             static_cast<float>(acc_h) * u.scale * kHiddenScale + bias[r];
+  }
+}
+
+int QuantizedGru::predict_incremental(std::span<const float> x,
+                                      std::span<std::int8_t> h_inout) const {
+  PHFTL_CHECK(deployed());
+  PHFTL_CHECK(x.size() == input_dim_ && h_inout.size() == hidden_dim_);
+
+  std::vector<std::int8_t> xq(input_dim_);
+  for (std::size_t i = 0; i < input_dim_; ++i) xq[i] = quantize_input(x[i]);
+
+  std::vector<float> z(hidden_dim_), r(hidden_dim_), n(hidden_dim_),
+      s(hidden_dim_);
+  gate_preact(wz_, uz_, xq, h_inout, bz_, z);
+  for (auto& v : z) v = sigmoidf(v);
+  gate_preact(wr_, ur_, xq, h_inout, br_, r);
+  for (auto& v : r) v = sigmoidf(v);
+
+  // Candidate gate: n = tanh(Wn x + bn + r ⊙ (Un h + bun)).
+  const float x_scale = 1.0f / 127.0f;
+  for (std::size_t row = 0; row < hidden_dim_; ++row) {
+    std::int32_t acc_x = 0;
+    const std::int8_t* wr = wn_.data.data() + row * wn_.cols;
+    for (std::size_t c = 0; c < wn_.cols; ++c)
+      acc_x += static_cast<std::int32_t>(wr[c]) * xq[c];
+    std::int32_t acc_h = 0;
+    const std::int8_t* ur = un_.data.data() + row * un_.cols;
+    for (std::size_t c = 0; c < un_.cols; ++c)
+      acc_h += static_cast<std::int32_t>(ur[c]) * h_inout[c];
+    s[row] = static_cast<float>(acc_h) * un_.scale * kHiddenScale + bun_[row];
+    n[row] = std::tanh(static_cast<float>(acc_x) * wn_.scale * x_scale +
+                       bn_[row] + r[row] * s[row]);
+  }
+
+  std::vector<float> h_new(hidden_dim_);
+  for (std::size_t i = 0; i < hidden_dim_; ++i) {
+    const float h_prev = static_cast<float>(h_inout[i]) * kHiddenScale;
+    h_new[i] = (1.0f - z[i]) * n[i] + z[i] * h_prev;
+  }
+  for (std::size_t i = 0; i < hidden_dim_; ++i)
+    h_inout[i] = quantize_hidden(h_new[i]);
+
+  // Classification head (int8 weights, float hidden for best fidelity).
+  // Class 1 (short-living) carries the decision-prior bias.
+  float best = -1e30f;
+  int best_cls = 0;
+  for (std::size_t cls = 0; cls < wo_.rows; ++cls) {
+    float acc = bo_[cls] + (cls == 1 ? decision_bias_ : 0.0f);
+    for (std::size_t c = 0; c < hidden_dim_; ++c)
+      acc += wo_.dequant(cls, c) * h_new[c];
+    if (acc > best) {
+      best = acc;
+      best_cls = static_cast<int>(cls);
+    }
+  }
+  return best_cls;
+}
+
+int QuantizedGru::predict_sequence(
+    const std::vector<std::vector<float>>& steps) const {
+  std::vector<std::int8_t> h(hidden_dim_, 0);
+  int cls = 0;
+  for (const auto& x : steps) cls = predict_incremental(x, h);
+  return cls;
+}
+
+}  // namespace phftl::ml

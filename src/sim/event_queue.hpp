@@ -1,0 +1,110 @@
+// Discrete-event simulation kernel.
+//
+// The device timing experiments (paper Figs. 6 and 7) are driven by a
+// classic event-calendar DES: events are (time, sequence, callback) tuples
+// executed in time order, with FIFO tie-breaking via the sequence number so
+// simultaneous events run in scheduling order (deterministic replays).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace phftl {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now).
+  void schedule_at(SimTime t, Callback fn) {
+    PHFTL_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+    heap_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` to run `delay` ns from now.
+  void schedule_in(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Run the single earliest event. Returns false if the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the event out before popping so the callback may schedule more.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Run events until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t) {
+    while (!heap_.empty() && heap_.top().time <= t) step();
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Single-server FIFO resource with analytic waiting: a job arriving at
+/// `arrival` with service time `service` begins at max(arrival, free_at).
+/// Models a controller core, a DMA engine, or a flash die without needing
+/// explicit queue events. Tracks busy time for utilization reporting.
+class FifoServer {
+ public:
+  /// Returns the completion time of the job and advances the server state.
+  SimTime serve(SimTime arrival, SimTime service) {
+    const SimTime start = arrival > free_at_ ? arrival : free_at_;
+    free_at_ = start + service;
+    busy_time_ += service;
+    ++jobs_;
+    return free_at_;
+  }
+
+  /// Time at which the server next becomes idle.
+  SimTime free_at() const { return free_at_; }
+
+  /// Total busy time accumulated across all jobs.
+  SimTime busy_time() const { return busy_time_; }
+  std::uint64_t jobs() const { return jobs_; }
+
+  void reset() { *this = FifoServer{}; }
+
+ private:
+  SimTime free_at_ = 0;
+  SimTime busy_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace phftl

@@ -1,0 +1,235 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace phftl {
+
+namespace {
+
+/// Maps a zipf rank to an LPN inside [0, size) with a deterministic bit-mix
+/// so that popular ranks are scattered across the region rather than
+/// clustered at its start (real hot pages are not contiguous).
+std::uint64_t scatter(std::uint64_t rank, std::uint64_t size) {
+  std::uint64_t x = rank * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return (rank + (x % 7) * (size / 7 + 1)) % size;
+}
+
+/// One temperature tier: a sub-range of the random-write space with its own
+/// zipf sampler.
+struct Tier {
+  std::uint64_t base = 0;
+  std::uint64_t size = 1;
+  ZipfGenerator zipf;
+
+  Tier(std::uint64_t base_, std::uint64_t size_, double theta)
+      : base(base_),
+        size(std::max<std::uint64_t>(size_, 1)),
+        zipf(std::max<std::uint64_t>(size_, 1), std::max(0.01, theta)) {}
+
+  std::uint64_t sample(Xoshiro256& rng) const {
+    return base + scatter(zipf.sample(rng), size);
+  }
+};
+
+}  // namespace
+
+Trace generate_workload(const WorkloadParams& p) {
+  PHFTL_CHECK(p.logical_pages > 0 && p.total_write_pages > 0);
+  PHFTL_CHECK(p.hot_region_fraction > 0.0 &&
+              p.hot_region_fraction + p.warm_region_fraction < 1.0);
+  PHFTL_CHECK(p.hot_traffic_fraction + p.warm_traffic_fraction <= 1.0);
+  PHFTL_CHECK(p.written_space_fraction > 0.0 &&
+              p.written_space_fraction <= 1.0);
+  PHFTL_CHECK(p.seq_region_fraction > 0.0 && p.seq_region_fraction < 1.0);
+
+  Trace trace;
+  trace.name = p.name;
+  trace.logical_pages = p.logical_pages;
+
+  Xoshiro256 rng(p.seed);
+
+  const auto footprint = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(p.logical_pages) *
+                                    p.written_space_fraction));
+
+  // Footprint layout: [hot][warm][static][sequential region]. The
+  // sequential streams own their slice of the footprint (log files live
+  // apart from random-write data); the random tiers split the rest.
+  const std::uint64_t seq_size =
+      p.sequential_fraction > 0.0
+          ? std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(static_cast<double>(footprint) *
+                                              p.seq_region_fraction))
+          : 0;
+  const std::uint64_t rand_space = std::max<std::uint64_t>(footprint - seq_size, 3);
+  const auto hot_size = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(rand_space) *
+                                    p.hot_region_fraction));
+  const auto warm_size = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(rand_space) *
+                                    p.warm_region_fraction));
+  const std::uint64_t static_size =
+      rand_space > hot_size + warm_size ? rand_space - hot_size - warm_size : 1;
+
+  const Tier hot(0, hot_size, p.zipf_theta);
+  const Tier warm(hot_size, warm_size, p.zipf_theta * 0.5);
+  const Tier cold(hot_size + warm_size, static_size, 0.05);
+  // Cyclic sweep state per tier: the cursor walks the tier strictly
+  // sequentially; the phase offset is re-drawn once per wrap, so per-page
+  // rewrite intervals spread ~±25% around size/rate across cycles without
+  // successive writes ever overlapping (which would fabricate a spurious
+  // population of near-zero lifetimes).
+  struct SweepState {
+    std::uint64_t cursor = 0;
+    std::uint64_t offset = 0;
+  };
+  SweepState hot_sweep, warm_sweep;
+
+  // Sequential streams each own an equal slice of the seq region and cycle
+  // through it (log-structured client behaviour).
+  const std::uint32_t n_seq = std::max<std::uint32_t>(1, p.sequential_streams);
+  const std::uint64_t seq_base = rand_space;
+  const std::uint64_t seq_slice = std::max<std::uint64_t>(seq_size / n_seq, 1);
+  std::vector<std::uint64_t> seq_cursor(n_seq);
+  for (std::uint32_t s = 0; s < n_seq; ++s)
+    seq_cursor[s] = seq_base + static_cast<std::uint64_t>(s) * seq_slice;
+
+  std::uint64_t pages_written = 0;
+  std::uint64_t seq_pages_written = 0;
+  std::uint64_t phase_shift = 0;  // rotates tier placement in rand space
+  std::uint64_t next_phase = p.phase_length_pages;
+  double timestamp_us = 0.0;
+
+  trace.ops.reserve(p.total_write_pages / 2);
+
+  // Random-tier offsets rotate (phase shifts) within the random space only.
+  auto to_lpn = [&](std::uint64_t rand_off) {
+    return (rand_off + phase_shift) % rand_space;
+  };
+  // Hot/warm writes blend cyclic sweeps (concentrated lifetimes — journals
+  // and log rings rewrite cyclically) with zipf-random rewrites; the cursor
+  // advances by the request size, so cyclic lifetimes equal size / rate.
+  auto sample_tier = [&](std::uint32_t len) -> std::uint64_t {
+    const auto sweep = [&](const Tier& tier, SweepState& st) {
+      // Clean-page skips: a position is occasionally passed over, so its
+      // lifetime doubles/triples (geometric ladder tail).
+      while (rng.next_bool(p.cyclic_skip)) {
+        st.cursor += len;
+        if (st.cursor >= tier.size) {
+          st.cursor = 0;
+          st.offset = rng.next_below(tier.size / 4 + 1);
+        }
+      }
+      const std::uint64_t at = tier.base + (st.cursor + st.offset) % tier.size;
+      st.cursor += len;
+      if (st.cursor >= tier.size) {
+        st.cursor = 0;
+        st.offset = rng.next_below(tier.size / 4 + 1);
+      }
+      return at;
+    };
+    const double r = rng.next_double();
+    if (r < p.hot_traffic_fraction) {
+      if (rng.next_bool(p.cyclic_fraction)) return sweep(hot, hot_sweep);
+      return hot.sample(rng);
+    }
+    if (r < p.hot_traffic_fraction + p.warm_traffic_fraction) {
+      if (rng.next_bool(p.cyclic_fraction)) return sweep(warm, warm_sweep);
+      return warm.sample(rng);
+    }
+    return cold.sample(rng);
+  };
+
+  while (pages_written < p.total_write_pages) {
+    // Phase rotation: shift the temperature map by the hot-tier size (the
+    // old hot set cools down, new pages heat up).
+    if (p.phase_length_pages > 0 && pages_written >= next_phase) {
+      phase_shift = (phase_shift + hot_size) % rand_space;
+      next_phase += p.phase_length_pages;
+    }
+
+    timestamp_us += -p.mean_gap_us * std::log(1.0 - rng.next_double());
+
+    HostRequest req;
+    req.timestamp_us = static_cast<std::uint64_t>(timestamp_us);
+
+    if (rng.next_bool(p.trim_request_fraction)) {
+      req.op = OpType::kTrim;
+      req.num_pages = p.sequential_io_pages;
+      const std::uint64_t span =
+          footprint > req.num_pages ? footprint - req.num_pages : 1;
+      req.start_lpn = rng.next_below(span);
+      trace.ops.push_back(req);
+      continue;
+    }
+    if (rng.next_bool(p.read_request_fraction)) {
+      // Reads sample the same tier popularity as writes but never advance
+      // the cyclic write cursors.
+      req.op = OpType::kRead;
+      const double r = rng.next_double();
+      const Tier& tier = r < p.hot_traffic_fraction ? hot
+                         : r < p.hot_traffic_fraction + p.warm_traffic_fraction
+                             ? warm
+                             : cold;
+      Lpn lpn = to_lpn(tier.sample(rng)) % p.logical_pages;
+      req.num_pages = static_cast<std::uint32_t>(
+          rng.next_in(1, p.random_io_max_pages));
+      if (lpn + req.num_pages > p.logical_pages)
+        lpn = p.logical_pages - req.num_pages;
+      req.start_lpn = lpn;
+      trace.ops.push_back(req);
+      continue;
+    }
+
+    req.op = OpType::kWrite;
+    // Feedback controller keeps the page-level sequential share exact
+    // regardless of request sizes.
+    const bool go_seq =
+        seq_size > 0 &&
+        static_cast<double>(seq_pages_written) <
+            p.sequential_fraction * static_cast<double>(pages_written + 1);
+    if (go_seq) {
+      const auto s = static_cast<std::uint32_t>(rng.next_below(n_seq));
+      std::uint32_t len = p.sequential_io_pages;
+      const std::uint64_t slice_base =
+          seq_base + static_cast<std::uint64_t>(s) * seq_slice;
+      if (seq_cursor[s] + len > slice_base + seq_slice) {
+        // Wrap with a small random back-off: successive log cycles do not
+        // restart at the identical byte, which spreads per-page rewrite
+        // intervals smoothly instead of forming a razor-thin spike.
+        seq_cursor[s] = slice_base + rng.next_below(seq_slice / 4 + 1);
+      }
+      req.start_lpn = seq_cursor[s] % p.logical_pages;
+      if (req.start_lpn + len > p.logical_pages)
+        len = static_cast<std::uint32_t>(p.logical_pages - req.start_lpn);
+      req.num_pages = std::max<std::uint32_t>(1, len);
+      seq_cursor[s] += req.num_pages;
+      seq_pages_written += req.num_pages;
+    } else {
+      const bool noise = rng.next_bool(p.noise_fraction);
+      req.num_pages = static_cast<std::uint32_t>(
+          rng.next_in(1, p.random_io_max_pages));
+      Lpn lpn = noise ? rng.next_below(rand_space)
+                      : to_lpn(sample_tier(req.num_pages));
+      if (lpn + req.num_pages > p.logical_pages)
+        lpn = p.logical_pages - req.num_pages;
+      req.start_lpn = lpn;
+    }
+
+    // Clamp the final request so total writes land exactly on target.
+    const std::uint64_t remaining = p.total_write_pages - pages_written;
+    if (req.num_pages > remaining)
+      req.num_pages = static_cast<std::uint32_t>(remaining);
+    pages_written += req.num_pages;
+    trace.ops.push_back(req);
+  }
+  return trace;
+}
+
+}  // namespace phftl

@@ -1,0 +1,102 @@
+// Synthetic block-workload generator.
+//
+// Stands in for the Alibaba Cloud production traces (paper §V-A), which are
+// not redistributable. The generator composes the access-pattern ingredients
+// that production cloud block storage exhibits (Li et al., IISWC'20 — the
+// dataset's own characterization study): a skewed hot/cold overwrite mix,
+// sequential append streams, optional working-set rotation (phase shifts),
+// and a configurable read share. These ingredients produce the skewed page-
+// lifetime CDFs of paper Fig. 2a, which is the property WA experiments and
+// the Page Classifier actually depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace phftl {
+
+struct WorkloadParams {
+  std::string name = "synthetic";
+  std::uint64_t logical_pages = 16384;
+  /// Total pages written by the trace (drive writes × logical_pages).
+  std::uint64_t total_write_pages = 16384 * 4;
+
+  // --- access mix ---
+  double read_request_fraction = 0.0;  ///< fraction of requests that read
+  /// Fraction of requests that TRIM a range (file deletions); ranges are
+  /// sampled uniformly from the footprint at sequential-IO size.
+  double trim_request_fraction = 0.0;
+
+  // --- random-overwrite component: tiered temperatures ---
+  // Production block storage exhibits discrete temperature classes (cache /
+  // journal pages, application working sets, near-static images), not a
+  // smooth popularity continuum. The random-write space is split into
+  // three tiers of the footprint — hot, warm, and static — with explicit
+  // traffic shares (static receives the remainder and is therefore written
+  // roughly once, acting as the long tail of the lifetime CDF in Fig. 2a).
+  /// Fraction of the footprint forming the hot tier.
+  double hot_region_fraction = 0.1;
+  /// Fraction of random-write traffic landing in the hot tier.
+  double hot_traffic_fraction = 0.75;
+  /// Fraction of the footprint forming the warm tier.
+  double warm_region_fraction = 0.3;
+  /// Fraction of random-write traffic landing in the warm tier
+  /// (the remainder of traffic goes to the static tier).
+  double warm_traffic_fraction = 0.20;
+  /// Zipf skew *within* each tier (0 = uniform; keep small for clean
+  /// tiering, larger values blur the tier boundaries).
+  double zipf_theta = 0.2;
+  /// Fraction of hot/warm-tier writes issued by a cyclic cursor sweeping
+  /// the tier (journals, log rings, and cache flushes rewrite cyclically).
+  /// Cyclic rewrites concentrate the tier's lifetime distribution around
+  /// size/rate instead of spreading it exponentially — this is what makes
+  /// page lifetime *learnable* (and what gives metadata retrievals their
+  /// spatial locality, §V-B). Lower values blur the modes.
+  double cyclic_fraction = 0.6;
+  /// Probability a cyclic sweep skips a position (clean pages skip a
+  /// journal/cache flush). Lifetimes form a geometric ladder at 1×, 2×, 3×
+  /// the sweep interval, giving the distribution realistic width.
+  double cyclic_skip = 0.01;
+  /// Fraction of the logical space that is ever written (cold tail beyond
+  /// this stays untouched, like pre-filled read-mostly data).
+  double written_space_fraction = 1.0;
+
+  // --- sequential component ---
+  /// Fraction of written *pages* issued as large sequential runs (enforced
+  /// by a feedback counter, so it is exact regardless of request sizes).
+  double sequential_fraction = 0.0;
+  /// Number of concurrent sequential streams (log regions).
+  std::uint32_t sequential_streams = 2;
+  /// Fraction of the footprint owned by the sequential streams (log files
+  /// live apart from random-write data). Stream slices cycle within this
+  /// region, so the sequential rewrite interval is
+  /// seq_region × footprint / sequential-page-rate.
+  double seq_region_fraction = 0.12;
+
+  // --- request sizing (pages) ---
+  std::uint32_t random_io_max_pages = 8;
+  std::uint32_t sequential_io_pages = 32;
+
+  // --- temporal dynamics ---
+  /// Rotate the hot-region origin every `phase_length_pages` written pages
+  /// (0 disables). Exercises the adaptive threshold (paper Fig. 2b).
+  std::uint64_t phase_length_pages = 0;
+  /// Probability that a random write ignores the hot/cold split entirely
+  /// (pure noise — makes lifetimes hard to predict, e.g. trace #38).
+  double noise_fraction = 0.0;
+
+  // --- timing ---
+  /// Mean inter-request gap (exponential), for timed replay.
+  double mean_gap_us = 40.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate a full trace according to `params`.
+Trace generate_workload(const WorkloadParams& params);
+
+}  // namespace phftl

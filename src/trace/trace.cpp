@@ -1,0 +1,69 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace phftl {
+
+std::vector<std::uint64_t> annotate_lifetimes(const Trace& trace) {
+  std::vector<std::uint64_t> lifetimes;
+  // last_write[lpn] = (virtual clock, index into `lifetimes`) of the most
+  // recent write to that page.
+  struct Last {
+    std::uint64_t clock = 0;
+    std::uint64_t index = ~0ULL;
+  };
+  std::vector<Last> last_write(trace.logical_pages);
+
+  std::uint64_t clock = 0;  // host pages written so far
+  for (const auto& req : trace.ops) {
+    if (req.op == OpType::kTrim) {
+      // A trim ends the current version's life at the present clock.
+      for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+        Last& last = last_write[req.start_lpn + i];
+        if (last.index != ~0ULL) {
+          lifetimes[last.index] = clock - last.clock;
+          last.index = ~0ULL;
+        }
+      }
+      continue;
+    }
+    if (req.op != OpType::kWrite) continue;
+    for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+      const Lpn lpn = req.start_lpn + i;
+      PHFTL_CHECK(lpn < trace.logical_pages);
+      Last& last = last_write[lpn];
+      if (last.index != ~0ULL)
+        lifetimes[last.index] = clock - last.clock;
+      last.clock = clock;
+      last.index = lifetimes.size();
+      lifetimes.push_back(kInfiniteLifetime);
+      ++clock;
+    }
+  }
+  return lifetimes;
+}
+
+std::vector<std::uint64_t> lifetime_cdf_samples(const Trace& trace,
+                                                std::size_t max_samples) {
+  const auto lifetimes = annotate_lifetimes(trace);
+  std::vector<std::uint64_t> finite;
+  finite.reserve(lifetimes.size());
+  for (auto lt : lifetimes)
+    if (lt != kInfiniteLifetime) finite.push_back(lt);
+  if (max_samples > 0 && finite.size() > max_samples) {
+    std::vector<std::uint64_t> sampled;
+    sampled.reserve(max_samples);
+    const double stride =
+        static_cast<double>(finite.size()) / static_cast<double>(max_samples);
+    for (std::size_t i = 0; i < max_samples; ++i)
+      sampled.push_back(finite[static_cast<std::size_t>(
+          static_cast<double>(i) * stride)]);
+    finite = std::move(sampled);
+  }
+  std::sort(finite.begin(), finite.end());
+  return finite;
+}
+
+}  // namespace phftl

@@ -1,0 +1,46 @@
+// Block-trace representation and ground-truth lifetime annotation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/request.hpp"
+
+namespace phftl {
+
+/// A replayable block trace plus the drive it targets.
+struct Trace {
+  std::string name;
+  std::uint64_t logical_pages = 0;  ///< drive size the trace was built for
+  std::vector<HostRequest> ops;
+
+  std::uint64_t total_write_pages() const {
+    std::uint64_t n = 0;
+    for (const auto& r : ops)
+      if (r.op == OpType::kWrite) n += r.num_pages;
+    return n;
+  }
+  std::uint64_t total_read_pages() const {
+    std::uint64_t n = 0;
+    for (const auto& r : ops)
+      if (r.op == OpType::kRead) n += r.num_pages;
+    return n;
+  }
+};
+
+inline constexpr std::uint64_t kInfiniteLifetime = ~0ULL;
+
+/// Ground-truth lifetime of every written page, in host-written pages
+/// (the paper's virtual clock, §III-B): entry i corresponds to the i-th
+/// page-granular write in the trace and holds the number of pages written
+/// between that write and the next write to the same LPN —
+/// kInfiniteLifetime if the page is never overwritten in the trace.
+std::vector<std::uint64_t> annotate_lifetimes(const Trace& trace);
+
+/// Sorted sample of all finite lifetimes in the trace (the empirical CDF of
+/// paper Fig. 2a). `max_samples` caps memory via uniform stride sampling.
+std::vector<std::uint64_t> lifetime_cdf_samples(const Trace& trace,
+                                                std::size_t max_samples);
+
+}  // namespace phftl

@@ -1,0 +1,30 @@
+// Invariant checking that stays on in release builds.
+//
+// The simulator's correctness claims (no double-program, mapping coherence,
+// conservation of valid pages) are enforced with PHFTL_CHECK rather than
+// assert() so that benchmark builds also verify them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phftl::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PHFTL_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace phftl::detail
+
+#define PHFTL_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::phftl::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define PHFTL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::phftl::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,19 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace phftl {
+
+LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  static const char* const kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::fprintf(stderr, "[%s] %s\n", kNames[idx], msg.c_str());
+}
+
+}  // namespace phftl

@@ -1,0 +1,32 @@
+// Minimal leveled logging. Simulation hot paths never log; logging exists
+// for examples, benches, and debugging GC behaviour.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace phftl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; defaults to Warn so tests stay quiet.
+LogLevel& log_threshold();
+
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace phftl
+
+#define PHFTL_LOG(level, ...)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::phftl::log_threshold())) {               \
+      char buf_[512];                                               \
+      std::snprintf(buf_, sizeof(buf_), __VA_ARGS__);               \
+      ::phftl::log_message(level, buf_);                            \
+    }                                                               \
+  } while (0)
+
+#define PHFTL_DEBUG(...) PHFTL_LOG(::phftl::LogLevel::kDebug, __VA_ARGS__)
+#define PHFTL_INFO(...) PHFTL_LOG(::phftl::LogLevel::kInfo, __VA_ARGS__)
+#define PHFTL_WARN(...) PHFTL_LOG(::phftl::LogLevel::kWarn, __VA_ARGS__)
+#define PHFTL_ERROR(...) PHFTL_LOG(::phftl::LogLevel::kError, __VA_ARGS__)

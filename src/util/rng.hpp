@@ -1,0 +1,150 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic components in the repository (workload generators, sampling,
+// weight initialization) draw from Xoshiro256StarStar seeded explicitly, so a
+// given seed always reproduces the same trace / training run bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace phftl {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Unbiased enough for simulation purposes; bias is < 2^-64 * bound.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Standard normal via Box-Muller (no cached spare; fine for our volumes).
+  double next_gaussian() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipfian sampler over [0, n): probability of rank r is proportional to
+/// 1/(r+1)^theta. Uses the classic rejection-inversion-free CDF-power
+/// approximation (Gray et al.), O(1) per sample after O(1) setup.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Sample a rank; rank 0 is the hottest item.
+  std::uint64_t sample(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    // Exact up to a cap, then integral approximation; plenty accurate for
+    // workload generation.
+    constexpr std::uint64_t kExactCap = 100000;
+    double sum = 0.0;
+    const std::uint64_t m = n < kExactCap ? n : kExactCap;
+    for (std::uint64_t i = 1; i <= m; ++i)
+      sum += std::pow(1.0 / static_cast<double>(i), theta);
+    if (n > m) {
+      // integral of x^-theta from m to n
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(m), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+/// Fisher-Yates shuffle driven by Xoshiro256 (std::shuffle is not guaranteed
+/// to be reproducible across standard libraries).
+template <typename T>
+void deterministic_shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace phftl

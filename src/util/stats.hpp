@@ -1,0 +1,140 @@
+// Streaming and batch statistics used by benchmarks and the FTL counters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace phftl {
+
+/// Welford's online mean/variance plus min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact quantiles (sorts lazily on query).
+/// Used for latency percentile reporting (Fig. 7 phase 2).
+class QuantileSampler {
+ public:
+  explicit QuantileSampler(std::size_t reserve = 0) {
+    if (reserve) samples_.reserve(reserve);
+  }
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// q in [0,1]; nearest-rank quantile. Returns 0 when empty.
+  double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Binary-classification confusion matrix with the metrics of Table I.
+/// Convention: the positive class is "short-living".
+class ConfusionMatrix {
+ public:
+  void add(bool predicted_positive, bool actually_positive) {
+    if (predicted_positive && actually_positive) ++tp_;
+    else if (predicted_positive && !actually_positive) ++fp_;
+    else if (!predicted_positive && actually_positive) ++fn_;
+    else ++tn_;
+  }
+
+  std::uint64_t tp() const { return tp_; }
+  std::uint64_t fp() const { return fp_; }
+  std::uint64_t fn() const { return fn_; }
+  std::uint64_t tn() const { return tn_; }
+  std::uint64_t total() const { return tp_ + fp_ + fn_ + tn_; }
+
+  double accuracy() const {
+    const auto t = total();
+    return t ? static_cast<double>(tp_ + tn_) / static_cast<double>(t) : 0.0;
+  }
+  double precision() const {
+    const auto d = tp_ + fp_;
+    return d ? static_cast<double>(tp_) / static_cast<double>(d) : 0.0;
+  }
+  double recall() const {
+    const auto d = tp_ + fn_;
+    return d ? static_cast<double>(tp_) / static_cast<double>(d) : 0.0;
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+
+  void merge(const ConfusionMatrix& other) {
+    tp_ += other.tp_;
+    fp_ += other.fp_;
+    fn_ += other.fn_;
+    tn_ += other.tn_;
+  }
+
+  void reset() { *this = ConfusionMatrix{}; }
+
+ private:
+  std::uint64_t tp_ = 0, fp_ = 0, fn_ = 0, tn_ = 0;
+};
+
+}  // namespace phftl

@@ -1,0 +1,72 @@
+// Plain-text table rendering for benchmark output (paper tables/figures are
+// regenerated as aligned console tables).
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace phftl {
+
+/// Column-aligned text table. Add a header row, then data rows; render()
+/// pads every column to its widest cell.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string pct(double v, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << (v * 100.0) << "%";
+    return os.str();
+  }
+
+  void render(std::ostream& os) const {
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& cells) {
+      if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+        os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+      }
+      os << '\n';
+    };
+
+    if (!header_.empty()) {
+      emit(header_);
+      std::size_t total = 0;
+      for (auto w : widths) total += w + 2;
+      os << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    render(os);
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phftl

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+
+namespace phftl::core {
+namespace {
+
+TEST(EncodeFeatures, OutputDimensionAndRange) {
+  RawFeatures raw;
+  raw.prev_lifetime = 0x12345678;
+  raw.io_len = 0xABC;
+  raw.chunk_write = 0x123;
+  raw.chunk_read = 0x456;
+  raw.rw_percent = 63;
+  raw.is_seq = 1;
+  const auto v = encode_features(raw);
+  ASSERT_EQ(v.size(), kInputDim);
+  for (float x : v) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 1.0f);
+  }
+}
+
+TEST(EncodeFeatures, HexDigitsLittleEndian) {
+  RawFeatures raw;
+  raw.prev_lifetime = 0xA1;  // digits: 1, A, 0, 0, ...
+  const auto v = encode_features(raw);
+  EXPECT_FLOAT_EQ(v[0], 1.0f / 15.0f);
+  EXPECT_FLOAT_EQ(v[1], 10.0f / 15.0f);
+  EXPECT_FLOAT_EQ(v[2], 0.0f);
+}
+
+TEST(EncodeFeatures, IoLenSaturatesAtThreeDigits) {
+  RawFeatures raw;
+  raw.io_len = 0xFFFF;  // exceeds 3-digit capacity 0xFFF
+  const auto v = encode_features(raw);
+  // io_len digits start after the 8 lifetime digits; saturated to 0xFFF.
+  EXPECT_FLOAT_EQ(v[8], 1.0f);
+  EXPECT_FLOAT_EQ(v[9], 1.0f);
+  EXPECT_FLOAT_EQ(v[10], 1.0f);
+}
+
+TEST(EncodeFeatures, IsSeqIsLastNeuron) {
+  RawFeatures raw;
+  raw.is_seq = 1;
+  auto v = encode_features(raw);
+  EXPECT_FLOAT_EQ(v.back(), 1.0f);
+  raw.is_seq = 0;
+  v = encode_features(raw);
+  EXPECT_FLOAT_EQ(v.back(), 0.0f);
+}
+
+TEST(EncodeFeatures, DistinctLifetimesProduceDistinctEncodings) {
+  RawFeatures a, b;
+  a.prev_lifetime = 100;
+  b.prev_lifetime = 200;
+  EXPECT_NE(encode_features(a), encode_features(b));
+}
+
+class FeatureTrackerTest : public ::testing::Test {
+ protected:
+  FeatureTrackerTest() : tracker_(make_cfg()) {}
+  static FeatureTracker::Config make_cfg() {
+    FeatureTracker::Config cfg;
+    cfg.logical_pages = 1024;
+    cfg.chunk_pages = 64;
+    cfg.decay_interval = 100;
+    return cfg;
+  }
+  static HostRequest write_req(Lpn lpn, std::uint32_t n = 1) {
+    HostRequest r;
+    r.op = OpType::kWrite;
+    r.start_lpn = lpn;
+    r.num_pages = n;
+    return r;
+  }
+  static HostRequest read_req(Lpn lpn) {
+    HostRequest r;
+    r.op = OpType::kRead;
+    r.start_lpn = lpn;
+    return r;
+  }
+  FeatureTracker tracker_;
+};
+
+TEST_F(FeatureTrackerTest, ChunkCountersTrackRequests) {
+  tracker_.observe_request(write_req(0));
+  tracker_.observe_request(write_req(10));
+  tracker_.observe_request(read_req(70));
+  EXPECT_EQ(tracker_.chunk_writes(0), 2);   // chunk 0: lpn 0 and 10
+  EXPECT_EQ(tracker_.chunk_writes(70), 0);  // chunk 1: only a read
+  EXPECT_EQ(tracker_.chunk_reads(70), 1);
+}
+
+TEST_F(FeatureTrackerTest, ReadWritePercent) {
+  EXPECT_EQ(tracker_.read_write_percent(), 0);
+  tracker_.observe_request(write_req(0));
+  tracker_.observe_request(read_req(0));
+  tracker_.observe_request(read_req(0));
+  tracker_.observe_request(read_req(0));
+  EXPECT_EQ(tracker_.read_write_percent(), 75);
+}
+
+TEST_F(FeatureTrackerTest, DecayHalvesCounters) {
+  for (int i = 0; i < 100; ++i) tracker_.observe_request(write_req(0));
+  // The 100th observation triggers decay: 100 → 50.
+  EXPECT_EQ(tracker_.chunk_writes(0), 50);
+}
+
+TEST_F(FeatureTrackerTest, MakeFeaturesAssemblesAllFields) {
+  tracker_.observe_request(write_req(5, 4));
+  tracker_.observe_request(read_req(5));
+  WriteContext ctx;
+  ctx.io_len_pages = 4;
+  ctx.is_sequential = true;
+  const RawFeatures f = tracker_.make_features(5, 1234, ctx);
+  EXPECT_EQ(f.prev_lifetime, 1234u);
+  EXPECT_EQ(f.io_len, 4);
+  EXPECT_EQ(f.is_seq, 1);
+  EXPECT_EQ(f.chunk_write, 1);
+  EXPECT_EQ(f.chunk_read, 1);
+  EXPECT_EQ(f.rw_percent, 50);
+}
+
+TEST_F(FeatureTrackerTest, IoLenCapsAtEncodableMax) {
+  WriteContext ctx;
+  ctx.io_len_pages = 100000;
+  const RawFeatures f = tracker_.make_features(0, 0, ctx);
+  EXPECT_EQ(f.io_len, 0xFFF);
+}
+
+}  // namespace
+}  // namespace phftl::core

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "flash/flash_array.hpp"
+#include "flash/geometry.hpp"
+
+namespace phftl {
+namespace {
+
+Geometry tiny_geom() {
+  Geometry g;
+  g.num_dies = 4;
+  g.blocks_per_die = 8;
+  g.pages_per_block = 4;
+  g.page_size = 4096;
+  return g;
+}
+
+TEST(Geometry, DerivedCounts) {
+  const Geometry g = tiny_geom();
+  EXPECT_EQ(g.num_superblocks(), 8u);
+  EXPECT_EQ(g.pages_per_superblock(), 16u);
+  EXPECT_EQ(g.total_pages(), 128u);
+  EXPECT_EQ(g.total_bytes(), 128u * 4096u);
+}
+
+TEST(Geometry, PpnRoundTrip) {
+  const Geometry g = tiny_geom();
+  for (std::uint64_t sb = 0; sb < g.num_superblocks(); ++sb) {
+    for (std::uint64_t off = 0; off < g.pages_per_superblock(); ++off) {
+      const Ppn ppn = g.make_ppn(sb, off);
+      EXPECT_EQ(g.superblock_of(ppn), sb);
+      EXPECT_EQ(g.offset_of(ppn), off);
+    }
+  }
+}
+
+TEST(Geometry, RoundRobinDieLayout) {
+  const Geometry g = tiny_geom();
+  // Offsets 0..3 land on dies 0..3, offset 4 wraps to die 0, page 1.
+  EXPECT_EQ(g.die_of_offset(0), 0u);
+  EXPECT_EQ(g.die_of_offset(3), 3u);
+  EXPECT_EQ(g.die_of_offset(4), 0u);
+  EXPECT_EQ(g.block_page_of_offset(0), 0u);
+  EXPECT_EQ(g.block_page_of_offset(4), 1u);
+  EXPECT_EQ(g.block_page_of_offset(15), 3u);
+}
+
+TEST(Geometry, SequentialOffsetsProgramBlocksInOrder) {
+  // The round-robin layout must never program a block page out of order:
+  // for each die, block-page indices are non-decreasing as offset grows.
+  const Geometry g = tiny_geom();
+  std::vector<std::uint32_t> next_page(g.num_dies, 0);
+  for (std::uint64_t off = 0; off < g.pages_per_superblock(); ++off) {
+    const auto die = g.die_of_offset(off);
+    EXPECT_EQ(g.block_page_of_offset(off), next_page[die]);
+    ++next_page[die];
+  }
+}
+
+class FlashArrayTest : public ::testing::Test {
+ protected:
+  FlashArrayTest() : flash_(tiny_geom()) {}
+  FlashArray flash_;
+};
+
+TEST_F(FlashArrayTest, ProgramReadRoundTrip) {
+  flash_.open_superblock(0);
+  OobData oob;
+  oob.lpn = 7;
+  oob.write_time = 99;
+  const Ppn ppn = flash_.program(0, 0xDEADBEEF, oob);
+  EXPECT_EQ(flash_.read(ppn), 0xDEADBEEFu);
+  EXPECT_EQ(flash_.read_oob(ppn).lpn, 7u);
+  EXPECT_EQ(flash_.read_oob(ppn).write_time, 99u);
+}
+
+TEST_F(FlashArrayTest, WritePointerAdvancesSequentially) {
+  flash_.open_superblock(2);
+  const Geometry& g = flash_.geometry();
+  for (std::uint64_t i = 0; i < g.pages_per_superblock(); ++i) {
+    EXPECT_EQ(flash_.write_pointer(2), i);
+    const Ppn ppn = flash_.program(2, i, OobData{});
+    EXPECT_EQ(g.offset_of(ppn), i);
+  }
+  EXPECT_TRUE(flash_.is_full(2));
+}
+
+TEST_F(FlashArrayTest, EraseResetsAndCounts) {
+  flash_.open_superblock(1);
+  for (int i = 0; i < 16; ++i) flash_.program(1, i, OobData{});
+  flash_.close_superblock(1);
+  EXPECT_EQ(flash_.state(1), SuperblockState::kClosed);
+  flash_.erase_superblock(1);
+  EXPECT_EQ(flash_.state(1), SuperblockState::kFree);
+  EXPECT_EQ(flash_.erase_count(1), 1u);
+  EXPECT_EQ(flash_.total_erases(), 1u);
+  // Pages are unprogrammed again.
+  EXPECT_FALSE(flash_.is_programmed(flash_.geometry().make_ppn(1, 0)));
+  // And can be written again after re-open.
+  flash_.open_superblock(1);
+  flash_.program(1, 42, OobData{});
+}
+
+TEST_F(FlashArrayTest, CountersTrackOperations) {
+  flash_.open_superblock(0);
+  const Ppn p0 = flash_.program(0, 1, OobData{});
+  flash_.program(0, 2, OobData{});
+  flash_.read(p0);
+  flash_.read(p0);
+  EXPECT_EQ(flash_.total_programs(), 2u);
+  EXPECT_EQ(flash_.total_reads(), 2u);
+}
+
+TEST_F(FlashArrayTest, MaxEraseCount) {
+  for (int round = 0; round < 3; ++round) {
+    flash_.open_superblock(5);
+    for (int i = 0; i < 16; ++i) flash_.program(5, i, OobData{});
+    flash_.close_superblock(5);
+    flash_.erase_superblock(5);
+  }
+  EXPECT_EQ(flash_.max_erase_count(), 3u);
+}
+
+using FlashArrayDeathTest = FlashArrayTest;
+
+TEST_F(FlashArrayDeathTest, ReadOfUnprogrammedPageAborts) {
+  EXPECT_DEATH(flash_.read(0), "unprogrammed");
+}
+
+TEST_F(FlashArrayDeathTest, ProgramIntoClosedSuperblockAborts) {
+  flash_.open_superblock(0);
+  for (int i = 0; i < 16; ++i) flash_.program(0, i, OobData{});
+  flash_.close_superblock(0);
+  EXPECT_DEATH(flash_.program(0, 0, OobData{}), "open");
+}
+
+TEST_F(FlashArrayDeathTest, ProgramBeyondCapacityAborts) {
+  flash_.open_superblock(0);
+  for (int i = 0; i < 16; ++i) flash_.program(0, i, OobData{});
+  EXPECT_DEATH(flash_.program(0, 99, OobData{}), "full");
+}
+
+TEST_F(FlashArrayDeathTest, EraseOfOpenSuperblockAborts) {
+  flash_.open_superblock(0);
+  EXPECT_DEATH(flash_.erase_superblock(0), "closed");
+}
+
+TEST_F(FlashArrayDeathTest, DoubleOpenAborts) {
+  flash_.open_superblock(0);
+  EXPECT_DEATH(flash_.open_superblock(0), "free");
+}
+
+}  // namespace
+}  // namespace phftl

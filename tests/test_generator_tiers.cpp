@@ -1,0 +1,176 @@
+// Property tests for the tiered workload generator: the statistical
+// promises the suite's calibration depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/generator.hpp"
+#include "trace/trace.hpp"
+
+namespace phftl {
+namespace {
+
+WorkloadParams tiered_params() {
+  WorkloadParams p;
+  p.logical_pages = 16384;
+  p.total_write_pages = 16384 * 4;
+  p.written_space_fraction = 0.75;
+  p.hot_region_fraction = 0.012;
+  p.hot_traffic_fraction = 0.78;
+  p.warm_region_fraction = 0.012;
+  p.warm_traffic_fraction = 0.12;
+  p.cyclic_fraction = 0.85;
+  p.seed = 5;
+  return p;
+}
+
+TEST(GeneratorTiers, SequentialPageShareIsExact) {
+  WorkloadParams p = tiered_params();
+  p.sequential_fraction = 0.3;
+  const Trace t = generate_workload(p);
+  std::uint64_t seq_pages = 0;
+  for (const auto& r : t.ops)
+    if (r.op == OpType::kWrite && r.num_pages >= p.sequential_io_pages / 2)
+      seq_pages += r.num_pages;
+  const double share = static_cast<double>(seq_pages) /
+                       static_cast<double>(t.total_write_pages());
+  // The feedback controller holds the page share near the target even
+  // though sequential requests are ~8x larger than random ones.
+  EXPECT_NEAR(share, 0.3, 0.03);
+}
+
+TEST(GeneratorTiers, HotTierLifetimesConcentrateAroundSweepInterval) {
+  const WorkloadParams p = tiered_params();
+  const Trace t = generate_workload(p);
+  const auto lifetimes = annotate_lifetimes(t);
+
+  // Expected hot interval = hot_size / hot page rate.
+  const double rand_space =
+      static_cast<double>(p.logical_pages) * p.written_space_fraction;
+  const double hot_size = rand_space * p.hot_region_fraction;
+  const double interval = hot_size / p.hot_traffic_fraction;
+
+  // Count finite lifetimes within +/-40% of the predicted interval; with
+  // 85% cyclic hot traffic at 78% share, that band must hold the majority
+  // of all rewrites.
+  std::uint64_t in_band = 0, finite = 0;
+  for (const auto lt : lifetimes) {
+    if (lt == kInfiniteLifetime) continue;
+    ++finite;
+    if (static_cast<double>(lt) > 0.6 * interval &&
+        static_cast<double>(lt) < 1.4 * interval)
+      ++in_band;
+  }
+  ASSERT_GT(finite, 0u);
+  EXPECT_GT(static_cast<double>(in_band) / static_cast<double>(finite), 0.5);
+}
+
+TEST(GeneratorTiers, FootprintRespected) {
+  WorkloadParams p = tiered_params();
+  p.written_space_fraction = 0.5;
+  const Trace t = generate_workload(p);
+  Lpn max_lpn = 0;
+  for (const auto& r : t.ops)
+    if (r.op == OpType::kWrite)
+      max_lpn = std::max(max_lpn, r.start_lpn + r.num_pages - 1);
+  // All writes stay within the footprint (plus request-length slack).
+  EXPECT_LT(max_lpn, static_cast<Lpn>(0.5 * 16384) + p.random_io_max_pages);
+}
+
+TEST(GeneratorTiers, StaticTierSeesOnlyTrickle) {
+  WorkloadParams p = tiered_params();
+  const Trace t = generate_workload(p);
+  // Static region = rand space beyond hot+warm. Count writes per page there.
+  const auto footprint = static_cast<std::uint64_t>(
+      static_cast<double>(p.logical_pages) * p.written_space_fraction);
+  const auto hot_warm = static_cast<std::uint64_t>(
+      static_cast<double>(footprint) *
+      (p.hot_region_fraction + p.warm_region_fraction));
+  std::uint64_t static_writes = 0;
+  for (const auto& r : t.ops) {
+    if (r.op != OpType::kWrite) continue;
+    if (r.start_lpn >= hot_warm && r.start_lpn < footprint)
+      static_writes += r.num_pages;
+  }
+  const double per_page = static_cast<double>(static_writes) /
+                          static_cast<double>(footprint - hot_warm);
+  // ~10% of traffic over ~97% of the footprint: well under one rewrite per
+  // page per drive write.
+  EXPECT_LT(per_page, 1.5);
+}
+
+TEST(GeneratorTiers, PhaseShiftMovesHotSpot) {
+  // Each phase rotates the temperature map by one hot-tier size; after
+  // many phases the hottest page of the last quarter must sit elsewhere
+  // than the hottest page of the first quarter.
+  WorkloadParams p = tiered_params();
+  p.phase_length_pages = p.total_write_pages / 16;
+  const Trace t = generate_workload(p);
+
+  std::vector<std::uint64_t> first(p.logical_pages, 0),
+      last(p.logical_pages, 0);
+  std::uint64_t written = 0;
+  for (const auto& r : t.ops) {
+    if (r.op != OpType::kWrite) continue;
+    if (written < p.total_write_pages / 4)
+      first[r.start_lpn] += r.num_pages;
+    else if (written > 3 * p.total_write_pages / 4)
+      last[r.start_lpn] += r.num_pages;
+    written += r.num_pages;
+  }
+  const auto peak1 = static_cast<std::size_t>(
+      std::max_element(first.begin(), first.end()) - first.begin());
+  const auto peak2 = static_cast<std::size_t>(
+      std::max_element(last.begin(), last.end()) - last.begin());
+  const auto dist = peak1 > peak2 ? peak1 - peak2 : peak2 - peak1;
+  EXPECT_GT(dist, 50u);
+}
+
+TEST(GeneratorTiers, NoiseSpreadsWrites) {
+  WorkloadParams clean = tiered_params();
+  WorkloadParams noisy = tiered_params();
+  noisy.noise_fraction = 0.8;
+  auto distinct = [](const Trace& t) {
+    std::vector<bool> seen(t.logical_pages, false);
+    std::uint64_t n = 0;
+    for (const auto& r : t.ops) {
+      if (r.op != OpType::kWrite) continue;
+      for (std::uint32_t i = 0; i < r.num_pages; ++i)
+        if (!seen[r.start_lpn + i]) {
+          seen[r.start_lpn + i] = true;
+          ++n;
+        }
+    }
+    return n;
+  };
+  EXPECT_GT(distinct(generate_workload(noisy)),
+            distinct(generate_workload(clean)));
+}
+
+TEST(GeneratorTiers, CyclicZeroGivesExponentialSpread) {
+  // With no cyclic component, hot lifetimes are memoryless: the in-band
+  // concentration must be far weaker than the cyclic default.
+  WorkloadParams p = tiered_params();
+  p.cyclic_fraction = 0.0;
+  const Trace t = generate_workload(p);
+  const auto lifetimes = annotate_lifetimes(t);
+  const double rand_space =
+      static_cast<double>(p.logical_pages) * p.written_space_fraction;
+  const double interval =
+      rand_space * p.hot_region_fraction / p.hot_traffic_fraction;
+  std::uint64_t in_band = 0, finite = 0;
+  for (const auto lt : lifetimes) {
+    if (lt == kInfiniteLifetime) continue;
+    ++finite;
+    if (static_cast<double>(lt) > 0.6 * interval &&
+        static_cast<double>(lt) < 1.4 * interval)
+      ++in_band;
+  }
+  ASSERT_GT(finite, 0u);
+  // Exponential: P(0.6µ < X < 1.4µ) ≈ 0.30.
+  EXPECT_LT(static_cast<double>(in_band) / static_cast<double>(finite), 0.45);
+}
+
+}  // namespace
+}  // namespace phftl

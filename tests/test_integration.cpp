@@ -1,0 +1,218 @@
+// Cross-module integration and property tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "helpers.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace phftl {
+namespace {
+
+using test::make_ftl;
+using test::small_config;
+using test::small_workload;
+
+// --- Determinism: identical seeds must reproduce identical results ---
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, SameSeedSameOutcome) {
+  const FtlConfig cfg = small_config();
+  const Trace trace = small_workload(cfg, 2.0, 77);
+  std::uint64_t flash_writes[2];
+  for (int run = 0; run < 2; ++run) {
+    auto ftl = make_ftl(GetParam(), cfg, /*seed=*/5);
+    for (const auto& req : trace.ops) ftl->submit(req);
+    flash_writes[run] = ftl->stats().flash_writes();
+  }
+  EXPECT_EQ(flash_writes[0], flash_writes[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DeterminismTest,
+                         ::testing::Values("Base", "2R", "SepBIT", "PHFTL"));
+
+// --- Conservation laws across all schemes ---
+
+class ConservationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConservationTest, EraseAndProgramAccountingMatchesFlashArray) {
+  const FtlConfig cfg = small_config();
+  auto ftl = make_ftl(GetParam(), cfg);
+  const Trace trace = small_workload(cfg, 3.0, 11);
+  for (const auto& req : trace.ops) ftl->submit(req);
+
+  const FtlStats& s = ftl->stats();
+  EXPECT_EQ(ftl->flash().total_programs(), s.flash_writes());
+  EXPECT_EQ(ftl->flash().total_erases(), s.erases);
+
+  // Per-superblock erase counts sum to the total.
+  std::uint64_t sum = 0;
+  for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
+    sum += ftl->flash().erase_count(sb);
+  EXPECT_EQ(sum, s.erases);
+}
+
+TEST_P(ConservationTest, MappedPagesNeverExceedLogicalSpace) {
+  const FtlConfig cfg = small_config();
+  auto ftl = make_ftl(GetParam(), cfg);
+  const Trace trace = small_workload(cfg, 2.5, 13);
+  for (const auto& req : trace.ops) ftl->submit(req);
+  std::uint64_t mapped = 0;
+  for (Lpn lpn = 0; lpn < ftl->logical_pages(); ++lpn)
+    if (ftl->is_mapped(lpn)) ++mapped;
+  EXPECT_LE(mapped, ftl->logical_pages());
+  EXPECT_GT(mapped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ConservationTest,
+                         ::testing::Values("Base", "2R", "SepBIT", "PHFTL"));
+
+// --- Trim interaction ---
+
+TEST(TrimIntegration, TrimmedPagesFreeSpaceAndStayUnmapped) {
+  const FtlConfig cfg = small_config();
+  BaseFtl ftl(cfg);
+  WriteContext ctx;
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) ftl.write_page(lpn, ctx);
+  // Trim half the drive; subsequent GC should find lots of invalid pages.
+  for (Lpn lpn = 0; lpn < ftl.logical_pages() / 2; ++lpn) ftl.trim_page(lpn);
+  const std::uint64_t gc_before = ftl.stats().gc_writes;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i)
+    ftl.write_page(ftl.logical_pages() / 2 + rng.next_below(100), ctx);
+  // GC after trim migrates almost nothing extra per erase.
+  const std::uint64_t copies = ftl.stats().gc_writes - gc_before;
+  EXPECT_LT(copies, 20000u);
+  for (Lpn lpn = 0; lpn < 10; ++lpn) EXPECT_FALSE(ftl.is_mapped(lpn));
+}
+
+// --- Geometry sweep: the framework must work across shapes ---
+
+class GeometrySweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GeometrySweepTest, PhftlSurvivesGeometry) {
+  const auto [dies, blocks, pages] = GetParam();
+  FtlConfig cfg;
+  cfg.geom.num_dies = static_cast<std::uint32_t>(dies);
+  cfg.geom.blocks_per_die = static_cast<std::uint32_t>(blocks);
+  cfg.geom.pages_per_block = static_cast<std::uint32_t>(pages);
+  cfg.geom.page_size = 4096;
+  cfg.op_ratio = 0.10;
+
+  core::PhftlConfig pcfg = core::default_phftl_config(cfg);
+  core::PhftlFtl ftl(pcfg);
+  const Trace trace = test::small_workload(cfg, 2.0, 31);
+  for (const auto& req : trace.ops) ftl.submit(req);
+  EXPECT_EQ(ftl.stats().user_writes, trace.total_write_pages());
+  EXPECT_GT(ftl.stats().erases, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweepTest,
+    ::testing::Values(std::make_tuple(2, 64, 16),   // few dies
+                      std::make_tuple(8, 64, 8),    // small blocks
+                      std::make_tuple(4, 128, 16),  // many superblocks
+                      std::make_tuple(16, 48, 8))); // wide array
+
+// --- Skew sensitivity: WA must fall as workloads get more separable ---
+
+TEST(WaShape, SkewReducesWaForSeparatingSchemes) {
+  const FtlConfig cfg = small_config();
+
+  WorkloadParams uniform;
+  uniform.logical_pages = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.geom.total_pages()) * 0.9);
+  uniform.total_write_pages = uniform.logical_pages * 4;
+  uniform.hot_region_fraction = 0.30;
+  uniform.hot_traffic_fraction = 0.34;
+  uniform.warm_region_fraction = 0.30;
+  uniform.warm_traffic_fraction = 0.33;
+  uniform.cyclic_fraction = 0.0;  // memoryless
+  uniform.seed = 1;
+
+  WorkloadParams skewed = uniform;
+  skewed.hot_region_fraction = 0.012;
+  skewed.hot_traffic_fraction = 0.80;
+  skewed.warm_region_fraction = 0.012;
+  skewed.warm_traffic_fraction = 0.12;
+  skewed.cyclic_fraction = 0.8;
+  skewed.written_space_fraction = 0.8;
+
+  double wa_uniform, wa_skewed;
+  {
+    SepBitFtl ftl(cfg);
+    for (const auto& r : generate_workload(uniform).ops) ftl.submit(r);
+    wa_uniform = ftl.stats().write_amplification();
+  }
+  {
+    SepBitFtl ftl(cfg);
+    for (const auto& r : generate_workload(skewed).ops) ftl.submit(r);
+    wa_skewed = ftl.stats().write_amplification();
+  }
+  EXPECT_LT(wa_skewed, wa_uniform);
+}
+
+// --- PHFTL-specific invariants under load ---
+
+TEST(PhftlInvariants, PredictionsBoundedByUserWrites) {
+  const FtlConfig cfg = small_config();
+  auto pcfg = core::default_phftl_config(cfg);
+  core::PhftlFtl ftl(pcfg);
+  const Trace trace = small_workload(cfg, 4.0, 17);
+  for (const auto& req : trace.ops) ftl.submit(req);
+  EXPECT_LE(ftl.predictions_made(), ftl.stats().user_writes);
+  EXPECT_LE(ftl.short_predictions(), ftl.predictions_made());
+}
+
+TEST(PhftlInvariants, MetaReadsOnlyOnCacheMisses) {
+  const FtlConfig cfg = small_config();
+  auto pcfg = core::default_phftl_config(cfg);
+  core::PhftlFtl ftl(pcfg);
+  const Trace trace = small_workload(cfg, 3.0, 19);
+  for (const auto& req : trace.ops) ftl.submit(req);
+  EXPECT_EQ(ftl.stats().meta_reads, ftl.meta_store().cache_misses());
+}
+
+TEST(PhftlInvariants, WindowCountMatchesWriteVolume) {
+  const FtlConfig cfg = small_config();
+  auto pcfg = core::default_phftl_config(cfg);
+  core::PhftlFtl ftl(pcfg);
+  const Trace trace = small_workload(cfg, 3.0, 23);
+  for (const auto& req : trace.ops) ftl.submit(req);
+  const std::uint64_t expected =
+      trace.total_write_pages() / (cfg.geom.total_pages() / 20);
+  EXPECT_GE(ftl.trainer().windows_completed() + 1, expected);
+  EXPECT_LE(ftl.trainer().windows_completed(), expected + 1);
+}
+
+// --- Lifetime annotation consistency with the FTL's virtual clock ---
+
+TEST(LifetimeConsistency, AnnotatorMatchesOnlineObservation) {
+  // Replay a trace while tracking per-page last-write clocks exactly as
+  // the FTL does; the annotator must agree with the online observation.
+  const FtlConfig cfg = small_config();
+  const Trace trace = small_workload(cfg, 2.0, 29);
+  const auto lifetimes = annotate_lifetimes(trace);
+
+  std::vector<std::uint64_t> last_write(trace.logical_pages, ~0ULL);
+  std::vector<std::uint64_t> last_event(trace.logical_pages, ~0ULL);
+  std::uint64_t clock = 0;
+  for (const auto& req : trace.ops) {
+    if (req.op != OpType::kWrite) continue;
+    for (std::uint32_t i = 0; i < req.num_pages; ++i) {
+      const Lpn lpn = req.start_lpn + i;
+      if (last_write[lpn] != ~0ULL) {
+        ASSERT_EQ(lifetimes[last_event[lpn]], clock - last_write[lpn]);
+      }
+      last_write[lpn] = clock;
+      last_event[lpn] = clock;
+      ++clock;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phftl

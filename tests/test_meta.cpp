@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/meta.hpp"
+
+namespace phftl::core {
+namespace {
+
+Geometry meta_geom() {
+  Geometry g;
+  g.num_dies = 4;
+  g.blocks_per_die = 16;   // 16 superblocks
+  g.pages_per_block = 32;  // 128 pages per superblock
+  g.page_size = 4096;      // 113 entries per meta page
+  return g;
+}
+
+MetaStore::Config meta_cfg(double cache_fraction = 0.01,
+                           std::size_t min_pages = 2) {
+  MetaStore::Config cfg;
+  cfg.geom = meta_geom();
+  cfg.cache_fraction = cache_fraction;
+  cfg.min_cache_pages = min_pages;
+  return cfg;
+}
+
+TEST(MetaStore, LayoutSolvesDataMetaSplit) {
+  MetaStore store(meta_cfg());
+  // 4096 / 36 = 113 entries per meta page; 128 pages → 2 meta + 126 data
+  // (126 ≤ 2·113 ✓, and 1 meta page could only cover 113 < 127).
+  EXPECT_EQ(store.entries_per_meta_page(), 113u);
+  EXPECT_EQ(store.meta_pages_per_superblock(), 2u);
+  EXPECT_EQ(store.data_pages_per_superblock(), 126u);
+  EXPECT_EQ(store.total_meta_pages(), 32u);
+}
+
+TEST(MetaStore, PaperGeometryYields455Entries) {
+  MetaStore::Config cfg;
+  cfg.geom.num_dies = 8;
+  cfg.geom.blocks_per_die = 96;
+  cfg.geom.pages_per_block = 64;  // 512-page superblocks
+  cfg.geom.page_size = 16 * 1024;
+  MetaStore store(cfg);
+  EXPECT_EQ(store.entries_per_meta_page(), 455u);  // paper: 16KB / 36B
+  EXPECT_EQ(store.meta_pages_per_superblock(), 2u);
+  EXPECT_EQ(store.data_pages_per_superblock(), 510u);
+}
+
+TEST(MetaStore, MppnGroupsConsecutiveDataPages) {
+  MetaStore store(meta_cfg());
+  const Geometry g = meta_geom();
+  // Pages 0..112 of superblock 0 share meta page 0; 113.. map to 1.
+  EXPECT_EQ(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(0, 112)));
+  EXPECT_NE(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(0, 113)));
+  // Different superblocks never share meta pages.
+  EXPECT_NE(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(1, 0)));
+}
+
+TEST(MetaStore, PutGetRoundTrip) {
+  MetaStore store(meta_cfg());
+  MetaEntry e;
+  e.write_time = 777;
+  e.hidden[0] = 42;
+  e.hidden[31] = -42;
+  store.put(5, e);
+  bool missed = false;
+  const MetaEntry& got = store.get(5, /*sb_open=*/true, &missed);
+  EXPECT_FALSE(missed);  // open superblock: RAM buffer
+  EXPECT_EQ(got.write_time, 777u);
+  EXPECT_EQ(got.hidden[0], 42);
+  EXPECT_EQ(got.hidden[31], -42);
+  EXPECT_EQ(store.buffer_hits(), 1u);
+}
+
+TEST(MetaStore, ClosedSuperblockMissesThenHits) {
+  MetaStore store(meta_cfg());
+  bool missed = false;
+  store.get(0, /*sb_open=*/false, &missed);
+  EXPECT_TRUE(missed);  // first touch: meta page read from flash
+  EXPECT_EQ(store.cache_misses(), 1u);
+  store.get(1, false, &missed);
+  EXPECT_FALSE(missed);  // neighbour shares the cached meta page
+  EXPECT_EQ(store.cache_hits(), 1u);
+  // A page in the second meta-page group misses separately.
+  store.get(120, false, &missed);
+  EXPECT_TRUE(missed);
+}
+
+TEST(MetaStore, LruEvictsColdestMetaPage) {
+  MetaStore store(meta_cfg(0.0, /*min_pages=*/2));  // capacity 2
+  const Geometry g = meta_geom();
+  bool missed;
+  store.get(g.make_ppn(0, 0), false, &missed);  // load mppn A
+  store.get(g.make_ppn(1, 0), false, &missed);  // load mppn B
+  store.get(g.make_ppn(0, 1), false, &missed);  // touch A (now MRU)
+  EXPECT_FALSE(missed);
+  store.get(g.make_ppn(2, 0), false, &missed);  // load C: evicts B (LRU)
+  EXPECT_TRUE(missed);
+  store.get(g.make_ppn(0, 2), false, &missed);  // A still cached
+  EXPECT_FALSE(missed);
+  store.get(g.make_ppn(1, 1), false, &missed);  // B was evicted
+  EXPECT_TRUE(missed);
+}
+
+TEST(MetaStore, EraseInvalidatesCacheAndEntries) {
+  MetaStore store(meta_cfg());
+  const Geometry g = meta_geom();
+  MetaEntry e;
+  e.write_time = 1;
+  store.put(g.make_ppn(3, 0), e);
+  bool missed;
+  store.get(g.make_ppn(3, 0), false, &missed);  // cache it
+  store.on_superblock_erased(3);
+  const MetaEntry& got = store.get(g.make_ppn(3, 0), false, &missed);
+  EXPECT_TRUE(missed);  // cached page was dropped
+  EXPECT_EQ(got.write_time, kNeverWritten);  // entry reset
+}
+
+TEST(MetaStore, HitRateAccounting) {
+  MetaStore store(meta_cfg());
+  bool missed;
+  store.get(0, false, &missed);
+  for (int i = 1; i < 100; ++i) store.get(i, false, &missed);
+  EXPECT_EQ(store.cache_misses(), 1u);
+  EXPECT_EQ(store.cache_hits(), 99u);
+  EXPECT_NEAR(store.cache_hit_rate(), 0.99, 1e-9);
+}
+
+TEST(MetaStore, CacheCapacityFollowsOnePercentRule) {
+  MetaStore::Config cfg;
+  cfg.geom.num_dies = 8;
+  cfg.geom.blocks_per_die = 1024;  // lots of superblocks
+  cfg.geom.pages_per_block = 64;
+  cfg.geom.page_size = 16 * 1024;
+  cfg.min_cache_pages = 4;
+  MetaStore store(cfg);
+  EXPECT_EQ(store.cache_capacity_pages(),
+            static_cast<std::size_t>(store.total_meta_pages() / 100));
+}
+
+TEST(MetaStoreDeath, MetaPageOffsetsRejected) {
+  MetaStore store(meta_cfg());
+  const Geometry g = meta_geom();
+  // Offsets ≥ data capacity are meta pages, not data pages.
+  EXPECT_DEATH(store.mppn_of(g.make_ppn(0, 126)), "meta page");
+  MetaEntry e;
+  EXPECT_DEATH(store.put(g.make_ppn(0, 127), e), "data pages");
+}
+
+}  // namespace
+}  // namespace phftl::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/logreg.hpp"
+#include "util/rng.hpp"
+
+namespace phftl::ml {
+namespace {
+
+TEST(LogisticRegression, LearnsSeparableData) {
+  LogisticRegression::Config cfg;
+  cfg.input_dim = 2;
+  cfg.epochs = 50;
+  cfg.lr = 0.3f;
+  LogisticRegression model(cfg);
+
+  Xoshiro256 rng(5);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.next_double());
+    const float b = static_cast<float>(rng.next_double());
+    x.push_back({a, b});
+    y.push_back(a + b > 1.0f ? 1 : 0);
+  }
+  model.fit(x, y);
+  EXPECT_GT(model.evaluate(x, y), 0.9f);
+}
+
+TEST(LogisticRegression, ProbaIsMonotoneInSignal) {
+  LogisticRegression::Config cfg;
+  cfg.input_dim = 1;
+  cfg.epochs = 60;
+  cfg.lr = 0.5f;
+  LogisticRegression model(cfg);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(i) / 200.0f;
+    x.push_back({v});
+    y.push_back(v > 0.5f ? 1 : 0);
+  }
+  model.fit(x, y);
+  EXPECT_LT(model.predict_proba(std::vector<float>{0.1f}),
+            model.predict_proba(std::vector<float>{0.9f}));
+}
+
+TEST(LogisticRegression, UntrainedPredictsHalf) {
+  LogisticRegression::Config cfg;
+  cfg.input_dim = 3;
+  LogisticRegression model(cfg);
+  EXPECT_FLOAT_EQ(model.predict_proba(std::vector<float>{1, 2, 3}), 0.5f);
+}
+
+TEST(BalancedResample, ProducesEqualClassCounts) {
+  Xoshiro256 rng(9);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 90; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(i < 80 ? 0 : 1);  // 80 negatives, 10 positives
+  }
+  std::vector<std::vector<float>> bx;
+  std::vector<int> by;
+  balanced_resample(x, y, /*max_per_class=*/64, rng, bx, by);
+  int pos = 0, neg = 0;
+  for (int label : by) (label ? pos : neg)++;
+  EXPECT_EQ(pos, 10);
+  EXPECT_EQ(neg, 10);
+}
+
+TEST(BalancedResample, CapsPerClass) {
+  Xoshiro256 rng(9);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(i % 2);
+  }
+  std::vector<std::vector<float>> bx;
+  std::vector<int> by;
+  balanced_resample(x, y, 16, rng, bx, by);
+  EXPECT_EQ(bx.size(), 32u);
+}
+
+TEST(BalancedResample, SingleClassDegradesGracefully) {
+  Xoshiro256 rng(9);
+  std::vector<std::vector<float>> x{{1.0f}, {2.0f}};
+  std::vector<int> y{0, 0};
+  std::vector<std::vector<float>> bx;
+  std::vector<int> by;
+  balanced_resample(x, y, 16, rng, bx, by);
+  EXPECT_EQ(bx.size(), 2u);  // returned as-is
+}
+
+TEST(TrainEvalLightModel, HighAccuracyOnSeparableData) {
+  Xoshiro256 rng(31);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const float v = static_cast<float>(rng.next_double());
+    x.push_back({v});
+    y.push_back(v > 0.5f ? 1 : 0);
+  }
+  LogisticRegression::Config cfg;
+  cfg.epochs = 40;
+  cfg.lr = 0.5f;
+  const float acc = train_eval_light_model(x, y, 0.25, rng, cfg);
+  EXPECT_GT(acc, 0.85f);
+}
+
+TEST(TrainEvalLightModel, RandomLabelsScoreNearChance) {
+  Xoshiro256 rng(33);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    x.push_back({static_cast<float>(rng.next_double())});
+    y.push_back(rng.next_bool(0.5) ? 1 : 0);
+  }
+  const float acc = train_eval_light_model(x, y, 0.25, rng);
+  EXPECT_LT(acc, 0.65f);
+  EXPECT_GT(acc, 0.35f);
+}
+
+TEST(TrainEvalLightModel, TinyInputReturnsZero) {
+  Xoshiro256 rng(1);
+  std::vector<std::vector<float>> x{{1.0f}};
+  std::vector<int> y{1};
+  EXPECT_EQ(train_eval_light_model(x, y, 0.25, rng), 0.0f);
+}
+
+}  // namespace
+}  // namespace phftl::ml

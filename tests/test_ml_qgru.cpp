@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/gru.hpp"
+#include "ml/qgru.hpp"
+#include "util/rng.hpp"
+
+namespace phftl::ml {
+namespace {
+
+std::vector<float> random_unit_vec(std::size_t n, Xoshiro256& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_double());
+  return v;
+}
+
+TEST(QMat, RoundTripErrorBounded) {
+  Mat m(6, 5);
+  Xoshiro256 rng(2);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.next_gaussian());
+  const QMat q = QMat::from(m.view());
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    max_abs = std::max(max_abs, std::fabs(m.data()[i]));
+  // Symmetric int8: error ≤ scale/2 = max|w| / 254.
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_NEAR(q.dequant(r, c), m.at(r, c), max_abs / 254.0f + 1e-6f);
+}
+
+TEST(QMat, ZeroMatrixHasUnitScale) {
+  Mat m(2, 2);
+  const QMat q = QMat::from(m.view());
+  EXPECT_EQ(q.scale, 1.0f);
+  EXPECT_EQ(q.dequant(0, 0), 0.0f);
+}
+
+TEST(QuantizeHidden, SaturatesAndRounds) {
+  EXPECT_EQ(quantize_hidden(0.0f), 0);
+  EXPECT_EQ(quantize_hidden(1.0f), 127);
+  EXPECT_EQ(quantize_hidden(-1.0f), -127);
+  EXPECT_EQ(quantize_hidden(2.0f), 127);    // saturate
+  EXPECT_EQ(quantize_hidden(-2.0f), -127);  // saturate
+  EXPECT_EQ(quantize_hidden(0.5f), 64);     // round-half-up of 63.5
+}
+
+TEST(QuantizeInput, ClampsToNonNegative) {
+  EXPECT_EQ(quantize_input(0.0f), 0);
+  EXPECT_EQ(quantize_input(1.0f), 127);
+  EXPECT_EQ(quantize_input(-0.3f), 0);
+  EXPECT_EQ(quantize_input(1.7f), 127);
+}
+
+class QuantizedGruTest : public ::testing::Test {
+ protected:
+  QuantizedGruTest() : model_(make_cfg()), rng_(77) {}
+
+  static GruClassifier::Config make_cfg() {
+    GruClassifier::Config cfg;
+    cfg.input_dim = 6;
+    cfg.hidden_dim = 16;
+    cfg.seed = 21;
+    return cfg;
+  }
+
+  /// Train the float model a little so its weights are non-degenerate.
+  void pretrain() {
+    std::vector<Sequence> data;
+    for (int i = 0; i < 200; ++i) {
+      Sequence s;
+      for (int t = 0; t < 4; ++t)
+        s.steps.push_back(random_unit_vec(6, rng_));
+      s.label = s.steps.back()[0] > 0.5f ? 1 : 0;
+      data.push_back(std::move(s));
+    }
+    Xoshiro256 train_rng(4);
+    for (int e = 0; e < 20; ++e) model_.train_epoch(data, 32, train_rng);
+  }
+
+  GruClassifier model_;
+  Xoshiro256 rng_;
+};
+
+TEST_F(QuantizedGruTest, DefaultConstructedIsNotDeployed) {
+  QuantizedGru q;
+  EXPECT_FALSE(q.deployed());
+}
+
+TEST_F(QuantizedGruTest, HiddenStateIs32BytesForPaperConfig) {
+  GruClassifier::Config cfg;
+  cfg.input_dim = 20;
+  cfg.hidden_dim = 32;
+  GruClassifier m(cfg);
+  QuantizedGru q(m);
+  EXPECT_EQ(q.hidden_state_bytes(), 32u);  // paper §III-C: 32 B per page
+}
+
+TEST_F(QuantizedGruTest, AgreesWithFloatModelOnMostInputs) {
+  pretrain();
+  QuantizedGru q(model_);
+  int agree = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::vector<float>> seq;
+    for (int t = 0; t < 5; ++t) seq.push_back(random_unit_vec(6, rng_));
+    if (q.predict_sequence(seq) == model_.predict_sequence(seq)) ++agree;
+  }
+  // Paper §IV: quantization costs < 1% accuracy. Our bar here is agreement
+  // on ≥ 97% of random inputs (disagreements cluster at the decision
+  // boundary).
+  EXPECT_GE(agree, n * 97 / 100);
+}
+
+TEST_F(QuantizedGruTest, IncrementalMatchesOwnSequencePath) {
+  pretrain();
+  QuantizedGru q(model_);
+  std::vector<std::vector<float>> seq;
+  std::vector<std::int8_t> h(q.hidden_dim(), 0);
+  int inc = -1;
+  for (int t = 0; t < 8; ++t) {
+    seq.push_back(random_unit_vec(6, rng_));
+    inc = q.predict_incremental(seq.back(), h);
+  }
+  EXPECT_EQ(q.predict_sequence(seq), inc);
+}
+
+TEST_F(QuantizedGruTest, MacsPerStepMatchesArchitecture) {
+  pretrain();
+  QuantizedGru q(model_);
+  // 3 gates × (H×I + H×H) + head 2×H.
+  EXPECT_EQ(q.macs_per_step(), 3u * 16 * 6 + 3u * 16 * 16 + 2u * 16);
+}
+
+TEST_F(QuantizedGruTest, RedeploymentTracksRetraining) {
+  pretrain();
+  QuantizedGru q1(model_);
+  // Retrain with flipped labels → different model → different deployment.
+  std::vector<Sequence> data;
+  for (int i = 0; i < 200; ++i) {
+    Sequence s;
+    for (int t = 0; t < 4; ++t) s.steps.push_back(random_unit_vec(6, rng_));
+    s.label = s.steps.back()[0] > 0.5f ? 0 : 1;
+    data.push_back(std::move(s));
+  }
+  Xoshiro256 train_rng(8);
+  for (int e = 0; e < 30; ++e) model_.train_epoch(data, 32, train_rng);
+  QuantizedGru q2(model_);
+
+  int diff = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::vector<float>> seq{random_unit_vec(6, rng_),
+                                        random_unit_vec(6, rng_)};
+    if (q1.predict_sequence(seq) != q2.predict_sequence(seq)) ++diff;
+  }
+  EXPECT_GT(diff, 30);
+}
+
+}  // namespace
+}  // namespace phftl::ml

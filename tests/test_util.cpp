@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace phftl {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextInIsInclusive) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(21);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.next_gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.03);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(ZipfGenerator, SamplesWithinRange) {
+  Xoshiro256 rng(3);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(ZipfGenerator, SkewConcentratesOnLowRanks) {
+  Xoshiro256 rng(3);
+  ZipfGenerator zipf(10000, 0.99);
+  std::uint64_t top100 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (zipf.sample(rng) < 100) ++top100;
+  // Under uniform sampling, the top 100 of 10000 ranks would get ~1%.
+  EXPECT_GT(static_cast<double>(top100) / n, 0.3);
+}
+
+TEST(ZipfGenerator, LowThetaIsNearlyUniform) {
+  Xoshiro256 rng(3);
+  ZipfGenerator zipf(10000, 0.05);
+  std::uint64_t top100 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (zipf.sample(rng) < 100) ++top100;
+  EXPECT_LT(static_cast<double>(top100) / n, 0.1);
+}
+
+TEST(DeterministicShuffle, IsPermutationAndDeterministic) {
+  std::vector<int> v1{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> v2 = v1;
+  Xoshiro256 r1(42), r2(42);
+  deterministic_shuffle(v1, r1);
+  deterministic_shuffle(v2, r2);
+  EXPECT_EQ(v1, v2);
+  std::sort(v1.begin(), v1.end());
+  EXPECT_EQ(v1, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+}
+
+TEST(QuantileSampler, ExactQuantilesOnKnownData) {
+  QuantileSampler q;
+  for (int i = 1; i <= 100; ++i) q.add(i);
+  EXPECT_NEAR(q.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(q.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(q.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(q.quantile(0.99), 99.01, 1e-9);
+  EXPECT_NEAR(q.mean(), 50.5, 1e-9);
+}
+
+TEST(QuantileSampler, InterleavedAddAndQuery) {
+  QuantileSampler q;
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 10.0);
+  q.add(20.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 20.0);
+  q.add(0.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 0.0);
+}
+
+TEST(ConfusionMatrix, MetricsMatchHandComputation) {
+  ConfusionMatrix cm;
+  // 6 TP, 2 FP, 3 FN, 9 TN
+  for (int i = 0; i < 6; ++i) cm.add(true, true);
+  for (int i = 0; i < 2; ++i) cm.add(true, false);
+  for (int i = 0; i < 3; ++i) cm.add(false, true);
+  for (int i = 0; i < 9; ++i) cm.add(false, false);
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 15.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 6.0 / 9.0);
+  const double p = 0.75, r = 6.0 / 9.0;
+  EXPECT_DOUBLE_EQ(cm.f1(), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, EmptyAndDegenerate) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.f1(), 0.0);
+  cm.add(false, false);
+  EXPECT_EQ(cm.precision(), 0.0);  // no positive predictions
+  EXPECT_EQ(cm.recall(), 0.0);     // no actual positives
+}
+
+TEST(ConfusionMatrix, MergeAccumulates) {
+  ConfusionMatrix a, b;
+  a.add(true, true);
+  b.add(false, false);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.accuracy(), 1.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"a", "long-header"});
+  t.row({"xxxxxx", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("xxxxxx"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace phftl
