@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_ftl"
+  "../bench/bench_micro_ftl.pdb"
+  "CMakeFiles/bench_micro_ftl.dir/bench_micro_ftl.cpp.o"
+  "CMakeFiles/bench_micro_ftl.dir/bench_micro_ftl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

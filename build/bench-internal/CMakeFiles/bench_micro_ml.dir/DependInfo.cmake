@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_ml.cpp" "bench-internal/CMakeFiles/bench_micro_ml.dir/bench_micro_ml.cpp.o" "gcc" "bench-internal/CMakeFiles/bench_micro_ml.dir/bench_micro_ml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/phftl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/phftl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/phftl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/phftl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/phftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/phftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

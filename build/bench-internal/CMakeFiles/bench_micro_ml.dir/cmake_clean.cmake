@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_ml"
+  "../bench/bench_micro_ml.pdb"
+  "CMakeFiles/bench_micro_ml.dir/bench_micro_ml.cpp.o"
+  "CMakeFiles/bench_micro_ml.dir/bench_micro_ml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_explorer.dir/classifier_explorer.cpp.o"
+  "CMakeFiles/classifier_explorer.dir/classifier_explorer.cpp.o.d"
+  "classifier_explorer"
+  "classifier_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_policy_lab.dir/gc_policy_lab.cpp.o"
+  "CMakeFiles/gc_policy_lab.dir/gc_policy_lab.cpp.o.d"
+  "gc_policy_lab"
+  "gc_policy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_policy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

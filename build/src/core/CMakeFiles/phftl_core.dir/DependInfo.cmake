@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/phftl_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/phftl_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/meta.cpp" "src/core/CMakeFiles/phftl_core.dir/meta.cpp.o" "gcc" "src/core/CMakeFiles/phftl_core.dir/meta.cpp.o.d"
+  "/root/repo/src/core/phftl.cpp" "src/core/CMakeFiles/phftl_core.dir/phftl.cpp.o" "gcc" "src/core/CMakeFiles/phftl_core.dir/phftl.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/phftl_core.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/phftl_core.dir/threshold.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/phftl_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/phftl_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftl/CMakeFiles/phftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/phftl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phftl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/phftl_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_core.dir/features.cpp.o"
+  "CMakeFiles/phftl_core.dir/features.cpp.o.d"
+  "CMakeFiles/phftl_core.dir/meta.cpp.o"
+  "CMakeFiles/phftl_core.dir/meta.cpp.o.d"
+  "CMakeFiles/phftl_core.dir/phftl.cpp.o"
+  "CMakeFiles/phftl_core.dir/phftl.cpp.o.d"
+  "CMakeFiles/phftl_core.dir/threshold.cpp.o"
+  "CMakeFiles/phftl_core.dir/threshold.cpp.o.d"
+  "CMakeFiles/phftl_core.dir/trainer.cpp.o"
+  "CMakeFiles/phftl_core.dir/trainer.cpp.o.d"
+  "libphftl_core.a"
+  "libphftl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

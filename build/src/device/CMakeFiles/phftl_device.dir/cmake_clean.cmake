@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_device.dir/replayer.cpp.o"
+  "CMakeFiles/phftl_device.dir/replayer.cpp.o.d"
+  "libphftl_device.a"
+  "libphftl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

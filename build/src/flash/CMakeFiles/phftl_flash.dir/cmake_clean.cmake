@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_flash.dir/flash_array.cpp.o"
+  "CMakeFiles/phftl_flash.dir/flash_array.cpp.o.d"
+  "libphftl_flash.a"
+  "libphftl_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

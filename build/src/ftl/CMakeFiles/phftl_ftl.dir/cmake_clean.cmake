@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_ftl.dir/ftl_base.cpp.o"
+  "CMakeFiles/phftl_ftl.dir/ftl_base.cpp.o.d"
+  "libphftl_ftl.a"
+  "libphftl_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

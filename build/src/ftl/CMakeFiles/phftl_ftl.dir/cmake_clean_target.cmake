@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphftl_ftl.a"
+)

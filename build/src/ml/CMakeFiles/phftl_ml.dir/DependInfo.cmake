@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gru.cpp" "src/ml/CMakeFiles/phftl_ml.dir/gru.cpp.o" "gcc" "src/ml/CMakeFiles/phftl_ml.dir/gru.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/ml/CMakeFiles/phftl_ml.dir/logreg.cpp.o" "gcc" "src/ml/CMakeFiles/phftl_ml.dir/logreg.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/phftl_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/phftl_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/qgru.cpp" "src/ml/CMakeFiles/phftl_ml.dir/qgru.cpp.o" "gcc" "src/ml/CMakeFiles/phftl_ml.dir/qgru.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

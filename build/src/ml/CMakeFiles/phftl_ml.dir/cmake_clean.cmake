@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_ml.dir/gru.cpp.o"
+  "CMakeFiles/phftl_ml.dir/gru.cpp.o.d"
+  "CMakeFiles/phftl_ml.dir/logreg.cpp.o"
+  "CMakeFiles/phftl_ml.dir/logreg.cpp.o.d"
+  "CMakeFiles/phftl_ml.dir/mlp.cpp.o"
+  "CMakeFiles/phftl_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/phftl_ml.dir/qgru.cpp.o"
+  "CMakeFiles/phftl_ml.dir/qgru.cpp.o.d"
+  "libphftl_ml.a"
+  "libphftl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

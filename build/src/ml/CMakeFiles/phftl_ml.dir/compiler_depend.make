@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for phftl_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/alibaba_suite.cpp" "src/trace/CMakeFiles/phftl_trace.dir/alibaba_suite.cpp.o" "gcc" "src/trace/CMakeFiles/phftl_trace.dir/alibaba_suite.cpp.o.d"
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/phftl_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/phftl_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/phftl_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/phftl_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/phftl_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/phftl_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftl/CMakeFiles/phftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phftl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/phftl_flash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

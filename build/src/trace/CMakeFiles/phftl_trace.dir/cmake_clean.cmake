@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_trace.dir/alibaba_suite.cpp.o"
+  "CMakeFiles/phftl_trace.dir/alibaba_suite.cpp.o.d"
+  "CMakeFiles/phftl_trace.dir/csv.cpp.o"
+  "CMakeFiles/phftl_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/phftl_trace.dir/generator.cpp.o"
+  "CMakeFiles/phftl_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/phftl_trace.dir/trace.cpp.o"
+  "CMakeFiles/phftl_trace.dir/trace.cpp.o.d"
+  "libphftl_trace.a"
+  "libphftl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

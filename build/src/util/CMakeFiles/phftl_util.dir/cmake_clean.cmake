@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phftl_util.dir/log.cpp.o"
+  "CMakeFiles/phftl_util.dir/log.cpp.o.d"
+  "libphftl_util.a"
+  "libphftl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phftl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator_tiers.dir/test_generator_tiers.cpp.o"
+  "CMakeFiles/test_generator_tiers.dir/test_generator_tiers.cpp.o.d"
+  "test_generator_tiers"
+  "test_generator_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_gru.dir/test_ml_gru.cpp.o"
+  "CMakeFiles/test_ml_gru.dir/test_ml_gru.cpp.o.d"
+  "test_ml_gru"
+  "test_ml_gru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_gru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

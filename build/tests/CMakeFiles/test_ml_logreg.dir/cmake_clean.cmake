@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_logreg.dir/test_ml_logreg.cpp.o"
+  "CMakeFiles/test_ml_logreg.dir/test_ml_logreg.cpp.o.d"
+  "test_ml_logreg"
+  "test_ml_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_qgru.dir/test_ml_qgru.cpp.o"
+  "CMakeFiles/test_ml_qgru.dir/test_ml_qgru.cpp.o.d"
+  "test_ml_qgru"
+  "test_ml_qgru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_qgru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

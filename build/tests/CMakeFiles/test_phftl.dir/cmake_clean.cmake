@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phftl.dir/test_phftl.cpp.o"
+  "CMakeFiles/test_phftl.dir/test_phftl.cpp.o.d"
+  "test_phftl"
+  "test_phftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
