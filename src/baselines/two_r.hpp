@@ -28,10 +28,12 @@ class TwoRFtl : public FtlBase {
     return 1;
   }
   std::uint64_t pick_victim() override {
-    return select_victim(*this, [this](std::uint64_t sb) {
+    const double inv_pages = sb_fraction_scale(*this);
+    return select_victim(*this, [&](std::uint64_t sb) {
       const double age =
           static_cast<double>(virtual_clock() - close_time(sb));
-      return cost_benefit_score(invalid_fraction_of(*this, sb), age);
+      return cost_benefit_score(invalid_fraction(valid_count(sb), inv_pages),
+                                age);
     });
   }
 };

@@ -38,6 +38,8 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
                   "geometry too small for stream count");
   for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
     free_pool_.push_back(sb);
+  victim_index_.reset(cfg.geom.num_superblocks(),
+                      cfg.geom.pages_per_superblock());
 }
 
 void FtlBase::submit(const HostRequest& req) {
@@ -116,6 +118,8 @@ void FtlBase::invalidate(Lpn lpn) {
   const std::uint64_t sb = geom().superblock_of(old);
   PHFTL_CHECK(sb_meta_[sb].valid_count > 0);
   --sb_meta_[sb].valid_count;
+  if (victim_index_.contains(sb))  // closed blocks migrate buckets
+    victim_index_.update(sb, sb_meta_[sb].valid_count);
   on_page_invalidated(lpn, old, virtual_clock_);
 }
 
@@ -167,6 +171,7 @@ Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
     // real firmware pads them. They are simply not mapped.
     flash_.close_superblock(os.sb);
     sb_meta_[os.sb].close_time = virtual_clock_;
+    victim_index_.insert(os.sb, sb_meta_[os.sb].valid_count);
     os.sb = OpenStream::kNoSb;
   }
   return ppn;
@@ -179,12 +184,6 @@ Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
   const Ppn ppn = flash_.program(sb, payload, oob);
   ++stats_.meta_writes;
   return ppn;
-}
-
-void FtlBase::for_each_closed(
-    const std::function<void(std::uint64_t)>& fn) const {
-  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb)
-    if (flash_.state(sb) == SuperblockState::kClosed) fn(sb);
 }
 
 void FtlBase::rebuild_mapping_from_flash() {
@@ -222,6 +221,12 @@ void FtlBase::rebuild_mapping_from_flash() {
     gc_count_[ppn] = flash_.read_oob(ppn).gc_count;
     ++sb_meta_[geom().superblock_of(ppn)].valid_count;
   }
+
+  // Pass 3: rebuild the victim index from the recovered counts.
+  victim_index_.reset(geom().num_superblocks(), geom().pages_per_superblock());
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb)
+    if (flash_.state(sb) == SuperblockState::kClosed)
+      victim_index_.insert(sb, sb_meta_[sb].valid_count);
 }
 
 void FtlBase::maybe_gc() {
@@ -242,6 +247,10 @@ bool FtlBase::gc_once() {
   // pages. Transiently possible when the free target is momentarily
   // unreachable; back off and let future invalidations create headroom.
   if (sb_meta_[victim].valid_count >= data_capacity(victim)) return false;
+  // Drop the victim from the index for the duration of the collection; the
+  // migration loop below decrements its valid count without re-bucketing,
+  // and the block leaves the closed set at the erase anyway.
+  victim_index_.remove(victim);
   in_gc_ = true;
   ++stats_.gc_invocations;
 

@@ -19,14 +19,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flash/flash_array.hpp"
 #include "flash/geometry.hpp"
 #include "ftl/request.hpp"
 #include "ftl/stats.hpp"
+#include "ftl/victim_index.hpp"
 
 namespace phftl {
 
@@ -93,8 +94,36 @@ class FtlBase {
   Lpn page_lpn(Ppn ppn) const { return p2l_[ppn]; }
   std::uint8_t page_gc_count(Ppn ppn) const { return gc_count_[ppn]; }
 
-  /// Iterate closed superblocks (victim candidates).
-  void for_each_closed(const std::function<void(std::uint64_t)>& fn) const;
+  /// Iterate closed superblocks (victim candidates). Backed by the
+  /// incremental victim index, so this visits exactly the closed set
+  /// without scanning flash state; the visitor is a template (no
+  /// std::function indirection on the GC path). Order is unspecified.
+  template <typename Fn>
+  void for_each_closed(Fn&& fn) const {
+    victim_index_.visit_ascending(
+        [&](std::uint64_t /*valid*/, const std::vector<std::uint64_t>& sbs) {
+          for (const std::uint64_t sb : sbs) fn(sb);
+          return true;
+        });
+  }
+
+  /// Visit closed superblocks grouped by valid count, ascending (i.e. by
+  /// descending invalid fraction). `fn(valid_count, candidates)` returns
+  /// false to stop the walk — policies whose score is bounded by the
+  /// invalid fraction use this to prune whole buckets.
+  template <typename Fn>
+  bool visit_closed_by_valid(Fn&& fn) const {
+    return victim_index_.visit_ascending(std::forward<Fn>(fn));
+  }
+
+  /// Number of closed superblocks (victim candidates).
+  std::uint64_t closed_count() const { return victim_index_.size(); }
+
+  /// Greedy victim: a closed superblock with the fewest valid pages, via
+  /// an O(1) index pop instead of the historical O(superblocks) scan.
+  /// Tie-breaking is unspecified but deterministic. Returns ~0ULL when no
+  /// superblock is closed.
+  std::uint64_t greedy_victim() const { return victim_index_.min_valid_sb(); }
 
  protected:
   // --- Policy hooks ---
@@ -179,6 +208,9 @@ class FtlBase {
   std::vector<SbMeta> sb_meta_;
   std::vector<OpenStream> open_;
   std::deque<std::uint64_t> free_pool_;
+  /// Closed superblocks bucketed by valid count. Invariant outside gc_once:
+  /// indexed(sb) ⇔ flash state(sb) == kClosed, at sb's current valid count.
+  VictimIndex victim_index_;
 
   FtlStats stats_;
   std::uint64_t virtual_clock_ = 0;

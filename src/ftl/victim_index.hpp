@@ -1,0 +1,130 @@
+// Incremental GC victim index: closed superblocks bucketed by valid count.
+//
+// Victim selection used to re-scan every superblock (checking flash state
+// and recomputing scores) on each GC invocation — O(superblocks) per round.
+// This index keeps the candidate set materialized instead: every *closed*
+// superblock sits in the bucket of its current valid-page count, and the
+// FTL moves it between buckets as pages are invalidated (one O(1) swap-pop
+// + push per transition). That makes
+//
+//  * greedy selection an O(1) pop from the lowest non-empty bucket (the
+//    fewest-valid block is by definition the most-invalid one), and
+//  * bounded policies like the paper's Adjusted Greedy (whose score is
+//    capped by the invalid fraction, Eq. 1) an ascending-bucket scan with
+//    early exit: once a bucket's invalid-fraction bound drops below the
+//    best score found, no later bucket can win.
+//
+// The structure is intrusive-free: it stores superblock ids plus a reverse
+// position table, sized once at mount. `min_hint_` tracks a lower bound on
+// the first non-empty bucket and is advanced lazily on queries, which
+// amortizes to O(1) per operation (it only moves forward between inserts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace phftl {
+
+class VictimIndex {
+ public:
+  static constexpr std::uint64_t kNone = ~0ULL;
+
+  VictimIndex() = default;
+
+  /// Size for `num_superblocks` candidates with valid counts in
+  /// [0, max_valid]. Drops any previous contents (used at mount/rebuild).
+  void reset(std::uint64_t num_superblocks, std::uint64_t max_valid) {
+    buckets_.assign(max_valid + 1, {});
+    bucket_of_.assign(num_superblocks, kNotIndexed);
+    pos_of_.assign(num_superblocks, 0);
+    min_hint_ = max_valid + 1;
+    size_ = 0;
+  }
+
+  bool contains(std::uint64_t sb) const {
+    return bucket_of_[sb] != kNotIndexed;
+  }
+  std::uint64_t size() const { return size_; }
+  std::uint64_t num_buckets() const { return buckets_.size(); }
+  const std::vector<std::uint64_t>& bucket(std::uint64_t valid) const {
+    return buckets_[valid];
+  }
+
+  void insert(std::uint64_t sb, std::uint64_t valid) {
+    PHFTL_CHECK(!contains(sb));
+    PHFTL_CHECK(valid < buckets_.size());
+    bucket_of_[sb] = valid;
+    pos_of_[sb] = buckets_[valid].size();
+    buckets_[valid].push_back(sb);
+    if (valid < min_hint_) min_hint_ = valid;
+    ++size_;
+  }
+
+  void remove(std::uint64_t sb) {
+    PHFTL_CHECK(contains(sb));
+    auto& bucket = buckets_[bucket_of_[sb]];
+    const std::uint64_t pos = pos_of_[sb];
+    const std::uint64_t moved = bucket.back();
+    bucket[pos] = moved;
+    pos_of_[moved] = pos;
+    bucket.pop_back();
+    bucket_of_[sb] = kNotIndexed;
+    --size_;
+    // min_hint_ stays a valid lower bound; queries advance it lazily.
+  }
+
+  /// Move `sb` to the bucket of its new valid count.
+  void update(std::uint64_t sb, std::uint64_t valid) {
+    remove(sb);
+    insert(sb, valid);
+  }
+
+  /// Valid count of the emptiest indexed superblock; kNone when empty.
+  std::uint64_t min_valid() const {
+    if (size_ == 0) return kNone;
+    advance_hint();
+    return min_hint_;
+  }
+
+  /// Candidate with the fewest valid pages, O(1): the head of the lowest
+  /// non-empty bucket. Tie-breaking among equally-empty superblocks is
+  /// unspecified but deterministic (bucket order is a pure function of the
+  /// operation history) — any of them maximizes the greedy score.
+  std::uint64_t min_valid_sb() const {
+    if (size_ == 0) return kNone;
+    advance_hint();
+    return buckets_[min_hint_].front();
+  }
+
+  /// Visit non-empty buckets in ascending valid-count order. The visitor
+  /// receives (valid_count, candidates) and returns false to stop early.
+  /// Returns false iff the visitor stopped the walk.
+  template <typename Fn>
+  bool visit_ascending(Fn&& fn) const {
+    if (size_ == 0) return true;
+    advance_hint();
+    for (std::uint64_t v = min_hint_; v < buckets_.size(); ++v) {
+      if (buckets_[v].empty()) continue;
+      if (!fn(v, buckets_[v])) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint64_t kNotIndexed = ~0ULL;
+
+  void advance_hint() const {
+    while (min_hint_ < buckets_.size() && buckets_[min_hint_].empty())
+      ++min_hint_;
+  }
+
+  std::vector<std::vector<std::uint64_t>> buckets_;  ///< by valid count
+  std::vector<std::uint64_t> bucket_of_;  ///< sb -> bucket, kNotIndexed if out
+  std::vector<std::uint64_t> pos_of_;     ///< sb -> index within its bucket
+  mutable std::uint64_t min_hint_ = 0;    ///< lower bound, advanced lazily
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace phftl

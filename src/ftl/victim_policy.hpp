@@ -2,16 +2,24 @@
 //
 // All policies pick the *highest*-scoring closed superblock:
 //   * Greedy: score = invalid fraction. Optimal for uniform workloads,
-//     short-sighted under skew.
+//     short-sighted under skew. Served in O(1) straight from the victim
+//     index (FtlBase::greedy_victim) — no scan at all.
 //   * Cost-Benefit (Rosenblum & Ousterhout, LFS): benefit/cost =
 //     (1 - u) * age / (2u) — favours old, mostly-invalid segments. Used for
-//     baselines whose papers did not specify a policy (paper §V-A).
+//     baselines whose papers did not specify a policy (paper §V-A). Age is
+//     unbounded, so this one scans every candidate (select_victim).
 //   * Adjusted Greedy (paper Eq. 1): greedy, but superblocks holding
 //     short-living pages are discounted by V^(T/C) so that hot blocks get
 //     more time to self-invalidate — unless they have been closed for long
 //     (large C ⇒ exponent T/C → 0 ⇒ discount → 1), which "remedies wrong
 //     predictions": pages still valid long after close were probably
-//     mispredicted as short-living and should be reclaimed normally.
+//     mispredicted as short-living and should be reclaimed normally. Its
+//     score is capped by the invalid fraction, so select_victim_bounded can
+//     prune whole valid-count buckets.
+//
+// Scans iterate the victim index through templated visitors — no
+// std::function indirection — and break ties toward the lowest superblock
+// id, reproducing the historical ascending full-scan argmax exactly.
 #pragma once
 
 #include <cmath>
@@ -60,33 +68,70 @@ inline double adjusted_greedy_score(double invalid_fraction,
   return invalid_fraction * std::pow(valid_fraction, exponent);
 }
 
+namespace detail {
+
+/// Keeps the best (score, sb) pair with lowest-id tie-breaking. A score of
+/// -inf never wins (candidates may use it to exclude themselves), matching
+/// the historical strict-argmax behaviour.
+struct BestVictim {
+  double score = -std::numeric_limits<double>::infinity();
+  std::uint64_t sb = ~0ULL;
+
+  void offer(double s, std::uint64_t candidate) {
+    if (s > score || (s == score && sb != ~0ULL && candidate < sb)) {
+      score = s;
+      sb = candidate;
+    }
+  }
+};
+
+}  // namespace detail
+
 /// Generic arg-max over closed superblocks. `score(sb)` may return -inf to
 /// exclude a candidate. Returns FtlBase::kNoVictim-compatible ~0 when no
-/// closed superblock exists.
+/// closed superblock exists. O(closed superblocks) — use for unbounded
+/// scores (Cost-Benefit); bounded policies should prefer
+/// select_victim_bounded and pure greedy FtlBase::greedy_victim().
 template <typename ScoreFn>
 std::uint64_t select_victim(const FtlBase& ftl, ScoreFn&& score) {
-  std::uint64_t best_sb = ~0ULL;
-  double best = -std::numeric_limits<double>::infinity();
-  ftl.for_each_closed([&](std::uint64_t sb) {
-    const double s = score(sb);
-    if (s > best) {
-      best = s;
-      best_sb = sb;
-    }
-  });
-  return best_sb;
+  detail::BestVictim best;
+  ftl.for_each_closed([&](std::uint64_t sb) { best.offer(score(sb), sb); });
+  return best.sb;
 }
 
-/// Fraction helpers shared by the concrete FTLs.
-inline double invalid_fraction_of(const FtlBase& ftl, std::uint64_t sb) {
-  const double pages =
-      static_cast<double>(ftl.config().geom.pages_per_superblock());
-  return 1.0 - static_cast<double>(ftl.valid_count(sb)) / pages;
+/// Arg-max for score functions bounded above by the superblock's invalid
+/// fraction (greedy_score, adjusted_greedy_score). Walks the victim
+/// index's valid-count buckets in ascending order — descending
+/// invalid-fraction bound — and stops as soon as the bound falls strictly
+/// below the best score seen: no later bucket can beat *or tie* it, so the
+/// result (including lowest-id tie-breaks) is identical to a full scan.
+template <typename ScoreFn>
+std::uint64_t select_victim_bounded(const FtlBase& ftl, ScoreFn&& score) {
+  const double inv_pages =
+      1.0 / static_cast<double>(ftl.config().geom.pages_per_superblock());
+  detail::BestVictim best;
+  ftl.visit_closed_by_valid(
+      [&](std::uint64_t valid, const std::vector<std::uint64_t>& sbs) {
+        const double bound =
+            1.0 - static_cast<double>(valid) * inv_pages;
+        if (bound < best.score) return false;  // prune the remaining buckets
+        for (const std::uint64_t sb : sbs) best.offer(score(sb), sb);
+        return true;
+      });
+  return best.sb;
 }
-inline double valid_fraction_of(const FtlBase& ftl, std::uint64_t sb) {
-  const double pages =
-      static_cast<double>(ftl.config().geom.pages_per_superblock());
-  return static_cast<double>(ftl.valid_count(sb)) / pages;
+
+/// Fraction helpers. The `1 / pages_per_superblock` reciprocal is hoisted
+/// out of the scan: policies compute it once per selection instead of
+/// re-dividing for every candidate superblock.
+inline double sb_fraction_scale(const FtlBase& ftl) {
+  return 1.0 / static_cast<double>(ftl.config().geom.pages_per_superblock());
+}
+inline double invalid_fraction(std::uint64_t valid_count, double inv_pages) {
+  return 1.0 - static_cast<double>(valid_count) * inv_pages;
+}
+inline double valid_fraction(std::uint64_t valid_count, double inv_pages) {
+  return static_cast<double>(valid_count) * inv_pages;
 }
 
 }  // namespace phftl

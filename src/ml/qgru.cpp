@@ -43,6 +43,28 @@ QuantizedGru::QuantizedGru(const GruClassifier& model)
   bn_ = copy(model.bn());
   bun_ = copy(model.bun());
   bo_ = copy(model.bo());
+
+  // Pack the gate triples for the fused kernels and pre-dequantize the
+  // output head (2 x H floats — cheaper than dequantizing per prediction).
+  w_packed_ = kernels::pack_gates3(wz_.data.data(), wr_.data.data(),
+                                   wn_.data.data(), hidden_dim_, input_dim_);
+  u_packed_ = kernels::pack_gates3(uz_.data.data(), ur_.data.data(),
+                                   un_.data.data(), hidden_dim_, hidden_dim_);
+  wo_deq_.resize(wo_.rows * wo_.cols);
+  for (std::size_t cls = 0; cls < wo_.rows; ++cls)
+    for (std::size_t c = 0; c < wo_.cols; ++c)
+      wo_deq_[cls * wo_.cols + c] = wo_.dequant(cls, c);
+
+  // Size the scratch once; the padded tails of xq/hq stay zero forever, so
+  // the stride-length kernel loops see zeros past the logical columns.
+  scratch_.xq.assign(w_packed_.stride, 0);
+  scratch_.hq.assign(u_packed_.stride, 0);
+  scratch_.ax.resize(3 * hidden_dim_);
+  scratch_.ah.resize(3 * hidden_dim_);
+  scratch_.z.resize(hidden_dim_);
+  scratch_.r.resize(hidden_dim_);
+  scratch_.n.resize(hidden_dim_);
+  scratch_.h_new.resize(hidden_dim_);
 }
 
 void QuantizedGru::gate_preact(const QMat& w, const QMat& u,
@@ -69,6 +91,64 @@ void QuantizedGru::gate_preact(const QMat& w, const QMat& u,
 
 int QuantizedGru::predict_incremental(std::span<const float> x,
                                       std::span<std::int8_t> h_inout) const {
+  PHFTL_CHECK(deployed());
+  PHFTL_CHECK(x.size() == input_dim_ && h_inout.size() == hidden_dim_);
+  const float x_scale = 1.0f / 127.0f;
+  Scratch& s = scratch_;
+
+  for (std::size_t i = 0; i < input_dim_; ++i)
+    s.xq[i] = quantize_input(x[i]);
+  std::copy(h_inout.begin(), h_inout.end(), s.hq.begin());
+
+  // Six GEMVs in two fused passes: one over the quantized input, one over
+  // the quantized hidden state.
+  const std::size_t h = hidden_dim_;
+  std::int32_t* az = s.ax.data();
+  std::int32_t* ar = az + h;
+  std::int32_t* an = ar + h;
+  std::int32_t* uz = s.ah.data();
+  std::int32_t* ur = uz + h;
+  std::int32_t* un = ur + h;
+  kernels::fused_gemv3_i8(w_packed_, s.xq.data(), az, ar, an);
+  kernels::fused_gemv3_i8(u_packed_, s.hq.data(), uz, ur, un);
+
+  // Combine with exactly the reference path's float expressions (term
+  // order preserved) so the result is bit-exact against it.
+  for (std::size_t i = 0; i < h; ++i) {
+    s.z[i] = sigmoidf(static_cast<float>(az[i]) * wz_.scale * x_scale +
+                      static_cast<float>(uz[i]) * uz_.scale * kHiddenScale +
+                      bz_[i]);
+    s.r[i] = sigmoidf(static_cast<float>(ar[i]) * wr_.scale * x_scale +
+                      static_cast<float>(ur[i]) * ur_.scale * kHiddenScale +
+                      br_[i]);
+    // Candidate gate: n = tanh(Wn x + bn + r ⊙ (Un h + bun)).
+    const float sn =
+        static_cast<float>(un[i]) * un_.scale * kHiddenScale + bun_[i];
+    s.n[i] = std::tanh(static_cast<float>(an[i]) * wn_.scale * x_scale +
+                       bn_[i] + s.r[i] * sn);
+    const float h_prev = static_cast<float>(h_inout[i]) * kHiddenScale;
+    s.h_new[i] = (1.0f - s.z[i]) * s.n[i] + s.z[i] * h_prev;
+  }
+  for (std::size_t i = 0; i < h; ++i) h_inout[i] = quantize_hidden(s.h_new[i]);
+
+  // Classification head (pre-dequantized int8 weights, float hidden for
+  // best fidelity). Class 1 (short-living) carries the decision-prior bias.
+  float best = -1e30f;
+  int best_cls = 0;
+  for (std::size_t cls = 0; cls < wo_.rows; ++cls) {
+    float acc = bo_[cls] + (cls == 1 ? decision_bias_ : 0.0f);
+    const float* wrow = wo_deq_.data() + cls * wo_.cols;
+    for (std::size_t c = 0; c < h; ++c) acc += wrow[c] * s.h_new[c];
+    if (acc > best) {
+      best = acc;
+      best_cls = static_cast<int>(cls);
+    }
+  }
+  return best_cls;
+}
+
+int QuantizedGru::predict_incremental_reference(
+    std::span<const float> x, std::span<std::int8_t> h_inout) const {
   PHFTL_CHECK(deployed());
   PHFTL_CHECK(x.size() == input_dim_ && h_inout.size() == hidden_dim_);
 

@@ -10,6 +10,15 @@
 //    outputs, hence in (-1, 1)),
 //  * int32 accumulation, float gate nonlinearities — the same arithmetic a
 //    NEON/SIMD int8 kernel performs on the Cosmos+ controller.
+//
+// The hot path (predict_incremental, one call per host write) runs the six
+// gate GEMVs through the fused kernels in ml/kernels.hpp — the Wz/Wr/Wn and
+// Uz/Ur/Un triples are packed at deployment time and all scratch buffers
+// are preallocated, so a prediction performs no heap allocation. The
+// original scalar implementation is retained as
+// predict_incremental_reference(); the fused path is bit-exact against it
+// (integer accumulation is order-independent and the float combining
+// expressions are identical), which tests assert.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "ml/gru.hpp"
+#include "ml/kernels.hpp"
 #include "ml/tensor.hpp"
 
 namespace phftl::ml {
@@ -67,8 +77,18 @@ class QuantizedGru {
   /// One incremental step + classification. `h_inout` is the cached int8
   /// hidden state (32 bytes for H=32); it is updated in place.
   /// Returns the predicted class (1 = short-living).
+  ///
+  /// Runs the fused allocation-free kernels. Uses an internal scratch
+  /// buffer, so concurrent calls on one instance are not safe; the device
+  /// controller model is single-threaded.
   int predict_incremental(std::span<const float> x,
                           std::span<std::int8_t> h_inout) const;
+
+  /// Original scalar implementation, kept as the reference the fused path
+  /// is verified against (bit-exact: same class, same updated hidden
+  /// state). Allocates per call; use only in tests and benchmarks.
+  int predict_incremental_reference(std::span<const float> x,
+                                    std::span<std::int8_t> h_inout) const;
 
   /// Full-sequence prediction from a zero hidden state (used in tests and
   /// the sequence-length ablation).
@@ -104,6 +124,20 @@ class QuantizedGru {
   float decision_bias_ = 0.0f;
   QMat wz_, wr_, wn_, uz_, ur_, un_, wo_;
   std::vector<float> bz_, br_, bn_, bun_, bo_;
+
+  // --- Fused-kernel deployment state ---
+  kernels::PackedGates3 w_packed_;  ///< Wz/Wr/Wn interleaved, stride-padded
+  kernels::PackedGates3 u_packed_;  ///< Uz/Ur/Un interleaved, stride-padded
+  std::vector<float> wo_deq_;       ///< pre-dequantized head [classes x H]
+
+  /// Per-instance scratch reused across predictions (no allocation on the
+  /// predict path). Mutable: prediction is logically const.
+  struct Scratch {
+    std::vector<std::int8_t> xq, hq;        // stride-padded, tails stay 0
+    std::vector<std::int32_t> ax, ah;       // 3 x H gate accumulators
+    std::vector<float> z, r, n, h_new;
+  };
+  mutable Scratch scratch_;
 };
 
 }  // namespace phftl::ml

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "ftl/victim_policy.hpp"
@@ -230,6 +231,96 @@ TEST_P(FtlIntegrityTest, MappingAndValidityAreConsistentAfterGc) {
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, FtlIntegrityTest,
                          ::testing::Values("Base", "2R", "SepBIT", "PHFTL"));
+
+// --- Property: the incremental victim index agrees with a fresh scan ---
+
+/// Historical greedy argmax via a full scan over flash states: the
+/// smallest valid count among closed superblocks (~0 when none closed).
+std::uint64_t linear_min_valid_scan(const FtlBase& ftl) {
+  std::uint64_t best_valid = ~0ULL;
+  bool any = false;
+  for (std::uint64_t sb = 0; sb < ftl.config().geom.num_superblocks(); ++sb) {
+    if (ftl.flash().state(sb) != SuperblockState::kClosed) continue;
+    any = true;
+    best_valid = std::min(best_valid, ftl.valid_count(sb));
+  }
+  return any ? best_valid : ~0ULL;
+}
+
+TEST_P(FtlIntegrityTest, VictimIndexAgreesWithFreshScanUnderRandomTraffic) {
+  const FtlConfig cfg = small_config();
+  auto ftl = make_ftl(GetParam(), cfg);
+  ASSERT_NE(ftl, nullptr);
+
+  Xoshiro256 rng(7777);
+  WriteContext ctx;
+  // Random write/trim(invalidate)/GC interleavings: writes trigger GC
+  // internally once the free pool drains; trims invalidate without a
+  // write. Check the index against a fresh linear scan as state evolves.
+  for (int op = 1; op <= 20000; ++op) {
+    const Lpn lpn = rng.next_below(ftl->logical_pages());
+    if (rng.next_bool(0.05))
+      ftl->trim_page(lpn);
+    else
+      ftl->write_page(lpn, ctx);
+    if (op % 500 != 0) continue;
+
+    // 1. The index enumerates exactly the closed superblocks.
+    std::set<std::uint64_t> from_index;
+    ftl->for_each_closed([&](std::uint64_t sb) { from_index.insert(sb); });
+    std::set<std::uint64_t> from_scan;
+    for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
+      if (ftl->flash().state(sb) == SuperblockState::kClosed)
+        from_scan.insert(sb);
+    ASSERT_EQ(from_index, from_scan) << "op " << op;
+    ASSERT_EQ(ftl->closed_count(), from_scan.size());
+
+    // 2. Every bucket holds superblocks at exactly its valid count, and
+    //    buckets arrive in ascending order.
+    std::uint64_t prev_valid = 0;
+    bool first = true;
+    ftl->visit_closed_by_valid(
+        [&](std::uint64_t valid, const std::vector<std::uint64_t>& sbs) {
+          EXPECT_TRUE(first || valid > prev_valid);
+          first = false;
+          prev_valid = valid;
+          for (const std::uint64_t sb : sbs)
+            EXPECT_EQ(ftl->valid_count(sb), valid) << "sb " << sb;
+          return true;
+        });
+
+    // 3. The O(1) greedy pop returns a closed superblock achieving the
+    //    minimum valid count a fresh scan finds (tie-breaking among equal
+    //    counts is unspecified).
+    const std::uint64_t victim = ftl->greedy_victim();
+    ASSERT_NE(victim, ~0ULL);
+    ASSERT_EQ(ftl->flash().state(victim), SuperblockState::kClosed);
+    ASSERT_EQ(ftl->valid_count(victim), linear_min_valid_scan(*ftl))
+        << "op " << op;
+  }
+  EXPECT_GT(ftl->stats().gc_invocations, 0u);
+}
+
+TEST_P(FtlIntegrityTest, VictimIndexSurvivesRecoveryRebuild) {
+  const FtlConfig cfg = small_config();
+  auto ftl = make_ftl(GetParam(), cfg);
+  const Trace trace = test::small_workload(cfg, 3.0, /*seed=*/55);
+  for (const auto& req : trace.ops) ftl->submit(req);
+
+  ftl->rebuild_mapping_from_flash();
+
+  std::set<std::uint64_t> from_index;
+  ftl->for_each_closed([&](std::uint64_t sb) { from_index.insert(sb); });
+  std::set<std::uint64_t> from_scan;
+  for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
+    if (ftl->flash().state(sb) == SuperblockState::kClosed)
+      from_scan.insert(sb);
+  EXPECT_EQ(from_index, from_scan);
+  if (!from_scan.empty()) {
+    EXPECT_EQ(ftl->valid_count(ftl->greedy_victim()),
+              linear_min_valid_scan(*ftl));
+  }
+}
 
 }  // namespace
 }  // namespace phftl

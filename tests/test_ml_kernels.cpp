@@ -1,0 +1,147 @@
+// Fused int8 kernel layer: exactness against the reference scalar path.
+//
+// The fused kernels accumulate in int32, so their results must be *bit
+// identical* to the naive loops regardless of which dispatch target (scalar
+// or AVX2) runs — these tests assert that, both at the GEMV level and
+// end-to-end through QuantizedGru::predict_incremental.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ml/gru.hpp"
+#include "ml/kernels.hpp"
+#include "ml/qgru.hpp"
+#include "util/rng.hpp"
+
+namespace phftl::ml {
+namespace {
+
+std::vector<std::int8_t> random_i8(std::size_t n, Xoshiro256& rng) {
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+  return v;
+}
+
+std::vector<float> random_unit_vec(std::size_t n, Xoshiro256& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_double());
+  return v;
+}
+
+TEST(PackedGates3, LayoutInterleavesRowsAndZeroPads) {
+  // 2 rows x 3 cols, three distinct matrices.
+  const std::int8_t g0[] = {1, 2, 3, 4, 5, 6};
+  const std::int8_t g1[] = {10, 20, 30, 40, 50, 60};
+  const std::int8_t g2[] = {-1, -2, -3, -4, -5, -6};
+  const auto p = kernels::pack_gates3(g0, g1, g2, 2, 3);
+  EXPECT_EQ(p.rows, 2u);
+  EXPECT_EQ(p.cols, 3u);
+  EXPECT_EQ(p.stride % kernels::kLaneAlign, 0u);
+  // Row block r holds gate-0, gate-1, gate-2 rows back to back.
+  EXPECT_EQ(p.row_block(1)[0], 4);
+  EXPECT_EQ(p.row_block(1)[p.stride + 1], 50);
+  EXPECT_EQ(p.row_block(1)[2 * p.stride + 2], -6);
+  // Padding beyond the logical columns is zero.
+  for (std::size_t c = 3; c < p.stride; ++c)
+    EXPECT_EQ(p.row_block(0)[c], 0) << "col " << c;
+}
+
+TEST(FusedGemv3, MatchesReferenceGemvExactly) {
+  Xoshiro256 rng(11);
+  // Odd shapes exercise the stride padding; larger ones the unrolled loops.
+  const std::size_t shapes[][2] = {{1, 1},  {3, 5},   {16, 6},
+                                   {32, 32}, {32, 20}, {24, 7},
+                                   {40, 33}, {64, 96}};
+  for (const auto& shape : shapes) {
+    const std::size_t rows = shape[0], cols = shape[1];
+    const auto g0 = random_i8(rows * cols, rng);
+    const auto g1 = random_i8(rows * cols, rng);
+    const auto g2 = random_i8(rows * cols, rng);
+    const auto p = kernels::pack_gates3(g0.data(), g1.data(), g2.data(), rows,
+                                        cols);
+    // x padded to the stride with zeros, as the kernel contract requires.
+    std::vector<std::int8_t> x(p.stride, 0);
+    const auto xv = random_i8(cols, rng);
+    std::copy(xv.begin(), xv.end(), x.begin());
+
+    std::vector<std::int32_t> out0(rows), out1(rows), out2(rows);
+    kernels::fused_gemv3_i8(p, x.data(), out0.data(), out1.data(),
+                            out2.data());
+    std::vector<std::int32_t> ref0(rows), ref1(rows), ref2(rows);
+    kernels::gemv_i8_ref(g0.data(), rows, cols, x.data(), ref0.data());
+    kernels::gemv_i8_ref(g1.data(), rows, cols, x.data(), ref1.data());
+    kernels::gemv_i8_ref(g2.data(), rows, cols, x.data(), ref2.data());
+    EXPECT_EQ(out0, ref0) << rows << "x" << cols;
+    EXPECT_EQ(out1, ref1) << rows << "x" << cols;
+    EXPECT_EQ(out2, ref2) << rows << "x" << cols;
+  }
+}
+
+/// End-to-end parity: the fused predict_incremental must return the same
+/// class and leave the same int8 hidden state as the retained reference
+/// implementation, bit for bit, over randomized models and sequences.
+TEST(QuantizedGruFused, BitExactAgainstReferenceAcrossRandomModels) {
+  Xoshiro256 rng(2027);
+  const std::size_t dims[][2] = {{6, 16}, {20, 32}, {7, 24}, {33, 40}};
+  for (const auto& d : dims) {
+    GruClassifier::Config cfg;
+    cfg.input_dim = d[0];
+    cfg.hidden_dim = d[1];
+    cfg.seed = 100 + d[0];
+    const GruClassifier model(cfg);
+    QuantizedGru q(model);
+    q.set_decision_bias(static_cast<float>(rng.next_gaussian()));
+
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<std::int8_t> h_fused(q.hidden_dim(), 0);
+      std::vector<std::int8_t> h_ref(q.hidden_dim(), 0);
+      for (int t = 0; t < 12; ++t) {
+        const auto x = random_unit_vec(d[0], rng);
+        const int cls_fused = q.predict_incremental(x, h_fused);
+        const int cls_ref = q.predict_incremental_reference(x, h_ref);
+        ASSERT_EQ(cls_fused, cls_ref)
+            << "dims " << d[0] << "x" << d[1] << " trial " << trial
+            << " step " << t;
+        ASSERT_EQ(0, std::memcmp(h_fused.data(), h_ref.data(),
+                                 h_fused.size()))
+            << "hidden state diverged at dims " << d[0] << "x" << d[1]
+            << " trial " << trial << " step " << t;
+      }
+    }
+  }
+}
+
+/// Parity must also hold for a *trained* model (weights far from init) and
+/// across redeployments.
+TEST(QuantizedGruFused, BitExactAfterTraining) {
+  GruClassifier::Config cfg;
+  cfg.input_dim = 6;
+  cfg.hidden_dim = 16;
+  cfg.seed = 21;
+  GruClassifier model(cfg);
+  Xoshiro256 rng(77);
+  std::vector<Sequence> data;
+  for (int i = 0; i < 200; ++i) {
+    Sequence s;
+    for (int t = 0; t < 4; ++t) s.steps.push_back(random_unit_vec(6, rng));
+    s.label = s.steps.back()[0] > 0.5f ? 1 : 0;
+    data.push_back(std::move(s));
+  }
+  Xoshiro256 train_rng(4);
+  for (int e = 0; e < 10; ++e) model.train_epoch(data, 32, train_rng);
+
+  const QuantizedGru q(model);
+  std::vector<std::int8_t> h_fused(q.hidden_dim(), 0);
+  std::vector<std::int8_t> h_ref(q.hidden_dim(), 0);
+  for (int t = 0; t < 64; ++t) {
+    const auto x = random_unit_vec(6, rng);
+    ASSERT_EQ(q.predict_incremental(x, h_fused),
+              q.predict_incremental_reference(x, h_ref));
+    ASSERT_EQ(0, std::memcmp(h_fused.data(), h_ref.data(), h_fused.size()));
+  }
+}
+
+}  // namespace
+}  // namespace phftl::ml
