@@ -1,6 +1,7 @@
 // Shared runner for the trace-suite benchmarks (Fig. 5, Table I, cache).
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -8,6 +9,7 @@
 #include "baselines/sepbit.hpp"
 #include "baselines/two_r.hpp"
 #include "core/phftl.hpp"
+#include "obs/observability.hpp"
 #include "trace/alibaba_suite.hpp"
 
 namespace phftl::bench {
@@ -57,6 +59,17 @@ inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
     res.cache_hit_rate = phftl->meta_store().cache_hit_rate();
     res.threshold = phftl->threshold();
     res.windows = phftl->trainer().windows_completed();
+  }
+
+  // With PHFTL_METRICS_DIR set, every bench run drops its metrics JSON
+  // there: <dir>/<trace>_<scheme>.json (suite ids like "#52" sanitized).
+  if (const char* dir = std::getenv("PHFTL_METRICS_DIR"); dir && *dir) {
+    ftl->refresh_observability();
+    std::string stem = spec.id + "_" + scheme;
+    for (char& c : stem)
+      if (c == '#' || c == '/' || c == ' ') c = '_';
+    obs::write_text_file(std::string(dir) + "/" + stem + ".json",
+                         obs::metrics_to_json(ftl->observability()));
   }
   return res;
 }

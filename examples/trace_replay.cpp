@@ -4,11 +4,15 @@
 // Usage:
 //   trace_replay [--scheme Base|2R|SepBIT|PHFTL] [--trace <id>|--csv <file>
 //                 --pages <logical_pages>] [--drive-writes N] [--export <file>]
+//                [--metrics-out <json>] [--metrics-csv <csv>]
+//                [--trace-out <chrome.json>] [--snapshot-every <pages>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
 //   trace_replay --scheme SepBIT --csv mytrace.csv --pages 45711
 //   trace_replay --trace "#52" --export out.csv   # export the synthetic trace
+//   trace_replay --metrics-out run.json --trace-out trace.json
+//     (open trace.json in chrome://tracing or https://ui.perfetto.dev)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +23,7 @@
 #include "baselines/sepbit.hpp"
 #include "baselines/two_r.hpp"
 #include "core/phftl.hpp"
+#include "obs/observability.hpp"
 #include "trace/alibaba_suite.hpp"
 #include "trace/csv.hpp"
 
@@ -31,8 +36,22 @@ void usage() {
                "usage: trace_replay [--scheme Base|2R|SepBIT|PHFTL]\n"
                "                    [--trace <suite id> | --csv <file> "
                "--pages <n>]\n"
-               "                    [--drive-writes <x>] [--export <file>]\n");
+               "                    [--drive-writes <x>] [--export <file>]\n"
+               "                    [--metrics-out <json>] [--metrics-csv "
+               "<csv>]\n"
+               "                    [--trace-out <chrome json>] "
+               "[--snapshot-every <pages>]\n");
   std::exit(2);
+}
+
+bool write_or_complain(const std::string& path, const std::string& content,
+                       const char* what) {
+  if (!obs::write_text_file(path, content)) {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
 }
 
 }  // namespace
@@ -42,6 +61,10 @@ int main(int argc, char** argv) {
   std::string trace_id = "#52";
   std::string csv_path;
   std::string export_path;
+  std::string metrics_json_path;
+  std::string metrics_csv_path;
+  std::string trace_out_path;
+  std::uint64_t snapshot_every = 0;
   std::uint64_t csv_pages = 0;
   double drive_writes = 4.0;
 
@@ -57,6 +80,11 @@ int main(int argc, char** argv) {
     else if (arg == "--pages") csv_pages = std::strtoull(next(), nullptr, 10);
     else if (arg == "--drive-writes") drive_writes = std::atof(next());
     else if (arg == "--export") export_path = next();
+    else if (arg == "--metrics-out") metrics_json_path = next();
+    else if (arg == "--metrics-csv") metrics_csv_path = next();
+    else if (arg == "--trace-out") trace_out_path = next();
+    else if (arg == "--snapshot-every")
+      snapshot_every = std::strtoull(next(), nullptr, 10);
     else usage();
   }
 
@@ -95,6 +123,11 @@ int main(int argc, char** argv) {
   else if (scheme == "PHFTL")
     ftl = std::make_unique<core::PhftlFtl>(core::default_phftl_config(cfg));
   else usage();
+
+  if (!trace_out_path.empty())
+    ftl->observability().trace().enable(/*capacity=*/65536);
+  if (snapshot_every > 0)
+    ftl->observability().set_snapshot_cadence(snapshot_every);
 
   std::printf("replaying %s (%zu requests, %llu write pages) on %s...\n",
               trace.name.c_str(), trace.ops.size(),
@@ -136,5 +169,24 @@ int main(int argc, char** argv) {
         phftl->meta_store().cache_hit_rate() * 100.0,
         static_cast<unsigned long long>(s.meta_reads));
   }
-  return 0;
+
+  // --- observability export (docs/METRICS.md) ---
+  bool ok = true;
+  if (!metrics_json_path.empty() || !metrics_csv_path.empty() ||
+      !trace_out_path.empty()) {
+    ftl->refresh_observability();  // push gauges before the snapshot
+    if (!metrics_json_path.empty())
+      ok &= write_or_complain(metrics_json_path,
+                              obs::metrics_to_json(ftl->observability()),
+                              "metrics JSON");
+    if (!metrics_csv_path.empty())
+      ok &= write_or_complain(metrics_csv_path,
+                              obs::metrics_to_csv(ftl->observability()),
+                              "metrics CSV");
+    if (!trace_out_path.empty())
+      ok &= write_or_complain(
+          trace_out_path, obs::trace_to_chrome_json(ftl->observability().trace()),
+          "chrome trace");
+  }
+  return ok ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -46,25 +47,42 @@ class ControllerModel {
 
   const ControllerConfig& config() const { return cfg_; }
 
+  /// Register the device timing metrics into a shared registry (usually
+  /// the wrapped FTL's). Unbound models record nothing.
+  void bind_observability(obs::Observability* obs) {
+    if (!obs) return;
+    write_latency_hist_ = &obs->metrics().histogram(
+        "device.write_latency_ns",
+        {2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6}, "ns",
+        "modelled controller write-path latency per request (Fig. 6 "
+        "regime: cmd + DMA [+ prediction in sync mode])");
+    writes_ctr_ = &obs->metrics().counter(
+        "device.writes", "requests", "write requests timed by the model");
+  }
+
   std::uint32_t pages_of(std::uint32_t size_kb) const {
     return (size_kb + cfg_.page_kb - 1) / cfg_.page_kb;
   }
 
   /// Latency (ns) of a single write request of `size_kb`, queue depth 1.
   std::uint64_t write_latency_ns(std::uint32_t size_kb) {
+    if (writes_ctr_) writes_ctr_->inc();
     const std::uint64_t dma = static_cast<std::uint64_t>(size_kb) *
                               cfg_.dma_ns_per_kb;
     const std::uint64_t pred =
         static_cast<std::uint64_t>(pages_of(size_kb)) * cfg_.prediction_ns;
+    std::uint64_t lat = 0;
     switch (cfg_.mode) {
       case PredictionMode::kStock:
-        return cfg_.cmd_process_ns + dma + cfg_.completion_ns;
+        lat = cfg_.cmd_process_ns + dma + cfg_.completion_ns;
+        break;
       case PredictionMode::kSync:
         // One core runs command handling, DMA scheduling *and* prediction
         // serially: every page's inference blocks the request pipeline
         // (this is what the paper measures as a 139.7% average latency
         // inflation in Fig. 6).
-        return cfg_.cmd_process_ns + dma + pred + cfg_.completion_ns;
+        lat = cfg_.cmd_process_ns + dma + pred + cfg_.completion_ns;
+        break;
       case PredictionMode::kAsync: {
         // Prediction is off the critical path; only occasional inter-core
         // synchronization and cache-line sharing bleed into latency,
@@ -72,10 +90,13 @@ class ControllerModel {
         const std::uint64_t jitter =
             rng_.next_below(10) == 0 ? rng_.next_below(cfg_.sync_jitter_ns + 1)
                                      : 0;
-        return cfg_.cmd_process_ns + dma + cfg_.completion_ns + jitter;
+        lat = cfg_.cmd_process_ns + dma + cfg_.completion_ns + jitter;
+        break;
       }
     }
-    return 0;
+    if (write_latency_hist_)
+      write_latency_hist_->observe(static_cast<double>(lat));
+    return lat;
   }
 
   /// Busy time prediction adds per request on its core (for throughput
@@ -93,6 +114,8 @@ class ControllerModel {
 
   ControllerConfig cfg_;
   Xoshiro256 rng_;
+  obs::Histogram* write_latency_hist_ = nullptr;
+  obs::Counter* writes_ctr_ = nullptr;
 };
 
 }  // namespace phftl

@@ -7,7 +7,16 @@
 namespace phftl {
 
 TimedReplayer::TimedReplayer(FtlBase& ftl, const DeviceTimingConfig& cfg)
-    : ftl_(ftl), cfg_(cfg), controller_(cfg.controller) {}
+    : ftl_(ftl), cfg_(cfg), controller_(cfg.controller) {
+  // Device timing metrics share the wrapped FTL's registry, so one export
+  // carries the whole run (FTL + ML + device).
+  controller_.bind_observability(&ftl.observability());
+  request_latency_hist_ = &ftl.observability().metrics().histogram(
+      "device.request_latency_us",
+      {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}, "us",
+      "host-visible request latency in open-loop timed replay (Fig. 7 "
+      "phase 2), including queueing and background-GC debt");
+}
 
 TimedReplayer::OpCosts TimedReplayer::service_ns(const HostRequest& req,
                                                  std::uint64_t programs,
@@ -139,7 +148,9 @@ Phase2Result TimedReplayer::timed_replay(const Trace& trace,
     gc_debt_ns -= gc_pay;
 
     const SimTime done = device.serve(arrival, costs.user_ns + gc_pay);
-    lat.add(static_cast<double>(done - arrival) * 1e-3);  // µs
+    const double latency_us = static_cast<double>(done - arrival) * 1e-3;
+    lat.add(latency_us);
+    request_latency_hist_->observe(latency_us);
   }
 
   Phase2Result r;

@@ -66,6 +66,7 @@ class TimedReplayer {
   FtlBase& ftl_;
   DeviceTimingConfig cfg_;
   ControllerModel controller_;
+  obs::Histogram* request_latency_hist_ = nullptr;
 };
 
 }  // namespace phftl

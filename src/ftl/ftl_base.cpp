@@ -40,6 +40,68 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
     free_pool_.push_back(sb);
   victim_index_.reset(cfg.geom.num_superblocks(),
                       cfg.geom.pages_per_superblock());
+  register_ftl_metrics();
+}
+
+void FtlBase::register_ftl_metrics() {
+  obs::MetricsRegistry& m = obs_.metrics();
+  stream_host_writes_.reserve(num_streams_);
+  stream_flash_writes_.reserve(num_streams_);
+  for (std::uint32_t s = 0; s < num_streams_; ++s) {
+    const std::string id = std::to_string(s);
+    stream_host_writes_.push_back(
+        &m.counter("ftl.stream" + id + ".host_writes", "pages",
+                   "host pages the write classifier sent to stream " + id));
+    stream_flash_writes_.push_back(
+        &m.counter("ftl.stream" + id + ".flash_writes", "pages",
+                   "pages programmed into stream " + id +
+                       " (user + GC migrations + meta pages)"));
+  }
+  gc_rounds_ctr_ = &m.counter("ftl.gc.rounds", "rounds",
+                              "completed GC victim collections");
+  gc_aborted_ctr_ =
+      &m.counter("ftl.gc.aborted_rounds", "rounds",
+                 "GC rounds abandoned because the best victim was fully "
+                 "valid (back-off)");
+  gc_moved_ctr_ = &m.counter("ftl.gc.moved_valid_pages", "pages",
+                             "valid pages migrated out of GC victims (the "
+                             "numerator of write amplification)");
+  erases_ctr_ = &m.counter("ftl.erases", "superblocks", "superblock erases");
+  meta_writes_ctr_ = &m.counter("ftl.meta_writes", "pages",
+                                "ML meta pages programmed (PHFTL only)");
+  stream_borrows_ctr_ =
+      &m.counter("ftl.stream_borrows", "pages",
+                 "GC appends redirected to another stream's open superblock "
+                 "under free-pool pressure");
+  host_reads_ctr_ =
+      &m.counter("ftl.host_reads", "pages", "mapped host pages read");
+  trims_ctr_ = &m.counter("ftl.trims", "pages", "logical pages discarded");
+  // Victim quality: the paper's separation claim is precisely that victims
+  // land in the low buckets of this histogram.
+  const std::uint64_t ppsb = geom().pages_per_superblock();
+  std::vector<double> edges;
+  for (std::uint64_t i = 0; i <= 8; ++i) {
+    const double e = static_cast<double>(i * ppsb) / 8.0;
+    if (edges.empty() || e > edges.back()) edges.push_back(e);
+  }
+  victim_valid_hist_ =
+      &m.histogram("ftl.gc.victim_valid_pages", std::move(edges), "pages",
+                   "valid-page count of each collected GC victim");
+  wa_gauge_ = &m.gauge("ftl.write_amplification", "ratio",
+                       "(flash writes - user writes) / user writes");
+  free_sb_gauge_ =
+      &m.gauge("ftl.free_superblocks", "superblocks", "free-pool size");
+  closed_sb_gauge_ = &m.gauge("ftl.closed_superblocks", "superblocks",
+                              "closed superblocks (GC candidates)");
+  vclock_gauge_ = &m.gauge("ftl.virtual_clock", "pages",
+                           "host pages written (the paper's lifetime clock)");
+}
+
+void FtlBase::refresh_observability() {
+  wa_gauge_->set(stats_.write_amplification());
+  free_sb_gauge_->set(static_cast<double>(free_pool_.size()));
+  closed_sb_gauge_->set(static_cast<double>(victim_index_.size()));
+  vclock_gauge_->set(static_cast<double>(virtual_clock_));
 }
 
 void FtlBase::submit(const HostRequest& req) {
@@ -90,9 +152,11 @@ void FtlBase::write_page(Lpn lpn, const WriteContext& ctx_in) {
   gc_count_[ppn] = 0;
 
   ++stats_.user_writes;
+  stream_host_writes_[stream]->inc();
   ++virtual_clock_;
   on_host_write_complete(lpn, ppn, ctx);
   maybe_gc();
+  obs_.tick(virtual_clock_);
 }
 
 std::uint64_t FtlBase::read_page(Lpn lpn) {
@@ -100,6 +164,7 @@ std::uint64_t FtlBase::read_page(Lpn lpn) {
   on_host_read(lpn);
   if (l2p_[lpn] == kInvalidPpn) return 0;
   ++stats_.host_reads;
+  host_reads_ctr_->inc();
   return flash_.read(l2p_[lpn]);
 }
 
@@ -107,6 +172,7 @@ void FtlBase::trim_page(Lpn lpn) {
   PHFTL_CHECK(lpn < logical_pages_);
   invalidate(lpn);
   l2p_[lpn] = kInvalidPpn;
+  trims_ctr_->inc();
 }
 
 void FtlBase::invalidate(Lpn lpn) {
@@ -154,14 +220,22 @@ Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
     }
     PHFTL_CHECK_MSG(found, "capacity exhausted: no open superblock left");
     ++stats_.stream_borrows;
+    stream_borrows_ctr_->inc();
   }
   OpenStream& os = open_[target];
-  if (os.sb == OpenStream::kNoSb) os.sb = allocate_superblock(target);
+  if (os.sb == OpenStream::kNoSb) {
+    os.sb = allocate_superblock(target);
+    obs_.trace().record(obs::TraceEventType::kSuperblockOpen, virtual_clock_,
+                        os.sb, 0, target);
+  }
 
   const Ppn ppn = flash_.program(os.sb, payload, oob);
   p2l_[ppn] = lpn;
   valid_bit_[ppn] = 1;
   ++sb_meta_[os.sb].valid_count;
+  stream_flash_writes_[target]->inc();
+  obs_.trace().record(obs::TraceEventType::kFlashProgram, virtual_clock_, ppn,
+                      0, target);
 
   // Close the superblock when its data region fills. finalize_superblock()
   // may program meta pages into the tail first (PHFTL, Fig. 4).
@@ -172,6 +246,8 @@ Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
     flash_.close_superblock(os.sb);
     sb_meta_[os.sb].close_time = virtual_clock_;
     victim_index_.insert(os.sb, sb_meta_[os.sb].valid_count);
+    obs_.trace().record(obs::TraceEventType::kSuperblockClose, virtual_clock_,
+                        os.sb, sb_meta_[os.sb].valid_count, target);
     os.sb = OpenStream::kNoSb;
   }
   return ppn;
@@ -183,6 +259,10 @@ Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
   OobData oob;  // meta pages carry no logical mapping
   const Ppn ppn = flash_.program(sb, payload, oob);
   ++stats_.meta_writes;
+  meta_writes_ctr_->inc();
+  stream_flash_writes_[sb_meta_[sb].stream]->inc();
+  obs_.trace().record(obs::TraceEventType::kFlashProgram, virtual_clock_, ppn,
+                      0, sb_meta_[sb].stream);
   return ppn;
 }
 
@@ -246,13 +326,20 @@ bool FtlBase::gc_once() {
   // A fully valid victim reclaims nothing: collecting it would only churn
   // pages. Transiently possible when the free target is momentarily
   // unreachable; back off and let future invalidations create headroom.
-  if (sb_meta_[victim].valid_count >= data_capacity(victim)) return false;
+  if (sb_meta_[victim].valid_count >= data_capacity(victim)) {
+    gc_aborted_ctr_->inc();
+    return false;
+  }
   // Drop the victim from the index for the duration of the collection; the
   // migration loop below decrements its valid count without re-bucketing,
   // and the block leaves the closed set at the erase anyway.
   victim_index_.remove(victim);
   in_gc_ = true;
   ++stats_.gc_invocations;
+  const std::uint64_t victim_valid = sb_meta_[victim].valid_count;
+  victim_valid_hist_->observe(static_cast<double>(victim_valid));
+  obs_.trace().record(obs::TraceEventType::kGcRoundBegin, virtual_clock_,
+                      victim, victim_valid);
 
   const std::uint64_t pages = geom().pages_per_superblock();
   for (std::uint64_t off = 0; off < pages; ++off) {
@@ -291,6 +378,13 @@ bool FtlBase::gc_once() {
   ++stats_.erases;
   free_pool_.push_back(victim);
   in_gc_ = false;
+  gc_rounds_ctr_->inc();
+  gc_moved_ctr_->add(victim_valid);
+  erases_ctr_->inc();
+  obs_.trace().record(obs::TraceEventType::kGcRoundEnd, virtual_clock_,
+                      victim, victim_valid);
+  obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_,
+                      victim);
   return true;
 }
 

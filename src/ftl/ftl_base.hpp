@@ -28,6 +28,7 @@
 #include "ftl/request.hpp"
 #include "ftl/stats.hpp"
 #include "ftl/victim_index.hpp"
+#include "obs/observability.hpp"
 
 namespace phftl {
 
@@ -71,6 +72,19 @@ class FtlBase {
 
   /// Human-readable scheme name for benchmark tables.
   virtual std::string name() const = 0;
+
+  /// This instance's observability surface (metrics registry + trace
+  /// recorder + snapshot series; docs/METRICS.md documents every metric).
+  /// Counters and trace events update as the FTL runs; gauges (WA, hit
+  /// rates, threshold, ...) are point-in-time values — call
+  /// refresh_observability() before exporting.
+  obs::Observability& observability() { return obs_; }
+  const obs::Observability& observability() const { return obs_; }
+
+  /// Recompute all gauges from the current FTL state. Subclasses extend
+  /// this with their policy-side gauges (classifier quality, cache hit
+  /// rate, lifetime estimates, ...).
+  virtual void refresh_observability();
 
   /// Mount-time recovery: rebuild the L2P table, validity bitmaps, and
   /// per-superblock accounting purely from the flash array's OOB areas
@@ -195,6 +209,10 @@ class FtlBase {
   /// One GC round; returns false when the best victim reclaims nothing.
   bool gc_once();
 
+  /// Register the FTL-layer metrics and cache their handles (cold path;
+  /// run once from the constructor).
+  void register_ftl_metrics();
+
   FtlConfig cfg_;
   FlashArray flash_;
   std::uint64_t logical_pages_;
@@ -216,6 +234,24 @@ class FtlBase {
   std::uint64_t virtual_clock_ = 0;
   std::uint64_t prev_req_end_ = kInvalidLpn;
   bool in_gc_ = false;
+
+  // --- observability (handles are stable; no allocation after setup) ---
+  obs::Observability obs_;
+  std::vector<obs::Counter*> stream_host_writes_;   ///< per-stream user pages
+  std::vector<obs::Counter*> stream_flash_writes_;  ///< per-stream programs
+  obs::Counter* gc_rounds_ctr_ = nullptr;
+  obs::Counter* gc_aborted_ctr_ = nullptr;
+  obs::Counter* gc_moved_ctr_ = nullptr;
+  obs::Counter* erases_ctr_ = nullptr;
+  obs::Counter* meta_writes_ctr_ = nullptr;
+  obs::Counter* stream_borrows_ctr_ = nullptr;
+  obs::Counter* host_reads_ctr_ = nullptr;
+  obs::Counter* trims_ctr_ = nullptr;
+  obs::Histogram* victim_valid_hist_ = nullptr;
+  obs::Gauge* wa_gauge_ = nullptr;
+  obs::Gauge* free_sb_gauge_ = nullptr;
+  obs::Gauge* closed_sb_gauge_ = nullptr;
+  obs::Gauge* vclock_gauge_ = nullptr;
 };
 
 }  // namespace phftl

@@ -1,0 +1,131 @@
+// Bounded ring-buffer trace recorder for typed simulator events.
+//
+// Recording is opt-in: a default-constructed recorder has capacity 0 and
+// record() is a single load+branch. Tools (trace_replay --trace-out, tests)
+// enable a fixed capacity before the run; once full, the ring wraps and the
+// oldest events are overwritten (dropped() reports how many). Timestamps
+// are the FTL virtual clock (host pages written — the paper's lifetime
+// clock), except where an event carries a wall-clock latency in its
+// payload (kMlPredict).
+//
+// Events export to chrome://tracing JSON via trace_to_chrome_json()
+// (src/obs/export.cpp); load the file at chrome://tracing or ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#ifndef PHFTL_OBS_ENABLED
+#define PHFTL_OBS_ENABLED 1
+#endif
+
+namespace phftl::obs {
+
+enum class TraceEventType : std::uint8_t {
+  kGcRoundBegin,     ///< a = victim sb, b = victim valid-page count
+  kGcRoundEnd,       ///< a = victim sb, b = valid pages moved
+  kSuperblockOpen,   ///< a = sb, stream = owning stream
+  kSuperblockClose,  ///< a = sb, b = valid count at close, stream
+  kMlPredict,        ///< a = predict latency ns (wall clock), b = class
+  kMetaCacheHit,     ///< a = meta-page id (MPPN)
+  kMetaCacheMiss,    ///< a = meta-page id (MPPN) — charged a flash read
+  kFlashProgram,     ///< a = ppn, stream = target stream
+  kFlashErase,       ///< a = sb
+};
+
+inline const char* trace_event_name(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kGcRoundBegin: return "gc_round";
+    case TraceEventType::kGcRoundEnd: return "gc_round";
+    case TraceEventType::kSuperblockOpen: return "sb_open";
+    case TraceEventType::kSuperblockClose: return "sb_close";
+    case TraceEventType::kMlPredict: return "ml_predict";
+    case TraceEventType::kMetaCacheHit: return "meta_cache_hit";
+    case TraceEventType::kMetaCacheMiss: return "meta_cache_miss";
+    case TraceEventType::kFlashProgram: return "flash_program";
+    case TraceEventType::kFlashErase: return "flash_erase";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t ts = 0;  ///< FTL virtual clock
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t stream = 0;
+  TraceEventType type = TraceEventType::kGcRoundBegin;
+};
+
+#if PHFTL_OBS_ENABLED
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// (Re)size the ring; clears previously recorded events. 0 disables.
+  void enable(std::size_t capacity) {
+    buf_.assign(capacity, TraceEvent{});
+    head_ = 0;
+    total_ = 0;
+  }
+  bool enabled() const { return !buf_.empty(); }
+
+  void record(TraceEventType type, std::uint64_t ts, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint32_t stream = 0) {
+    if (buf_.empty()) return;
+    TraceEvent& e = buf_[head_];
+    e.ts = ts;
+    e.a = a;
+    e.b = b;
+    e.stream = stream;
+    e.type = type;
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    ++total_;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  /// Events currently held (≤ capacity).
+  std::size_t size() const {
+    return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                                : buf_.size();
+  }
+  std::uint64_t total_recorded() const { return total_; }
+  /// Events overwritten by wraparound.
+  std::uint64_t dropped() const { return total_ - size(); }
+
+  /// Visit held events oldest → newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    std::size_t idx = total_ > buf_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(buf_[idx]);
+      idx = idx + 1 == buf_.size() ? 0 : idx + 1;
+    }
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+#else  // PHFTL_OBS_ENABLED == 0
+
+class TraceRecorder {
+ public:
+  void enable(std::size_t) {}
+  bool enabled() const { return false; }
+  void record(TraceEventType, std::uint64_t, std::uint64_t = 0,
+              std::uint64_t = 0, std::uint32_t = 0) {}
+  std::size_t capacity() const { return 0; }
+  std::size_t size() const { return 0; }
+  std::uint64_t total_recorded() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+  template <typename Fn>
+  void for_each(Fn&&) const {}
+};
+
+#endif  // PHFTL_OBS_ENABLED
+
+}  // namespace phftl::obs
