@@ -14,6 +14,54 @@
 
 namespace phftl::bench {
 
+namespace detail {
+
+/// Process-global metrics artifact. Every run_suite_trace call appends one
+/// entry; a single `${PHFTL_METRICS_DIR}/BENCH_metrics.json` is flushed when
+/// the bench binary exits. One artifact per binary (schema
+/// "phftl-bench-metrics/1", documented in docs/EXPERIMENTS.md) lets perf PRs
+/// diff full metric sets across commits instead of collecting a directory of
+/// per-run side files.
+class MetricsArtifact {
+ public:
+  static MetricsArtifact& instance() {
+    static MetricsArtifact artifact;
+    return artifact;
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+  void add(const std::string& trace_id, const std::string& scheme,
+           double drive_writes, std::string metrics_json) {
+    if (!enabled()) return;
+    while (!metrics_json.empty() &&
+           (metrics_json.back() == '\n' || metrics_json.back() == ' '))
+      metrics_json.pop_back();
+    if (!runs_.empty()) runs_ += ",\n";
+    runs_ += "    {\"trace\": \"" + trace_id + "\", \"scheme\": \"" + scheme +
+             "\", \"drive_writes\": " + std::to_string(drive_writes) +
+             ",\n     \"metrics\": " + metrics_json + "}";
+  }
+
+ private:
+  MetricsArtifact() {
+    if (const char* dir = std::getenv("PHFTL_METRICS_DIR"); dir && *dir)
+      dir_ = dir;
+  }
+  ~MetricsArtifact() {  // flushes at process exit, after the last run
+    if (!enabled() || runs_.empty()) return;
+    obs::write_text_file(dir_ + "/BENCH_metrics.json",
+                         "{\n  \"schema\": \"phftl-bench-metrics/1\",\n"
+                         "  \"runs\": [\n" +
+                             runs_ + "\n  ]\n}\n");
+  }
+
+  std::string dir_;
+  std::string runs_;
+};
+
+}  // namespace detail
+
 struct SuiteRunResult {
   std::string trace_id;
   std::string scheme;
@@ -61,15 +109,13 @@ inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
     res.windows = phftl->trainer().windows_completed();
   }
 
-  // With PHFTL_METRICS_DIR set, every bench run drops its metrics JSON
-  // there: <dir>/<trace>_<scheme>.json (suite ids like "#52" sanitized).
-  if (const char* dir = std::getenv("PHFTL_METRICS_DIR"); dir && *dir) {
+  // With PHFTL_METRICS_DIR set, every run's full metric dump is embedded in
+  // a single <dir>/BENCH_metrics.json artifact flushed at process exit
+  // (schema "phftl-bench-metrics/1" — docs/EXPERIMENTS.md).
+  if (auto& artifact = detail::MetricsArtifact::instance(); artifact.enabled()) {
     ftl->refresh_observability();
-    std::string stem = spec.id + "_" + scheme;
-    for (char& c : stem)
-      if (c == '#' || c == '/' || c == ' ') c = '_';
-    obs::write_text_file(std::string(dir) + "/" + stem + ".json",
-                         obs::metrics_to_json(ftl->observability()));
+    artifact.add(spec.id, scheme, drive_writes,
+                 obs::metrics_to_json(ftl->observability()));
   }
   return res;
 }

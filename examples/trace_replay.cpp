@@ -6,6 +6,9 @@
 //                 --pages <logical_pages>] [--drive-writes N] [--export <file>]
 //                [--metrics-out <json>] [--metrics-csv <csv>]
 //                [--trace-out <chrome.json>] [--snapshot-every <pages>]
+//                [--power-cut-at <host write #>] [--recover]
+//                [--program-fail-prob <p>] [--erase-fail-prob <p>]
+//                [--fault-seed <n>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
@@ -13,6 +16,11 @@
 //   trace_replay --trace "#52" --export out.csv   # export the synthetic trace
 //   trace_replay --metrics-out run.json --trace-out trace.json
 //     (open trace.json in chrome://tracing or https://ui.perfetto.dev)
+//   trace_replay --power-cut-at 100000 --recover   # crash mid-trace, remount,
+//     replay the rest (docs/RECOVERY.md); without --recover the run stops at
+//     the cut. The cut lands mid-request when the index falls inside one.
+//   trace_replay --program-fail-prob 1e-4 --erase-fail-prob 1e-3
+//     (deterministic NAND fault injection; see docs/RECOVERY.md)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +31,7 @@
 #include "baselines/sepbit.hpp"
 #include "baselines/two_r.hpp"
 #include "core/phftl.hpp"
+#include "flash/fault_injector.hpp"
 #include "obs/observability.hpp"
 #include "trace/alibaba_suite.hpp"
 #include "trace/csv.hpp"
@@ -40,7 +49,11 @@ void usage() {
                "                    [--metrics-out <json>] [--metrics-csv "
                "<csv>]\n"
                "                    [--trace-out <chrome json>] "
-               "[--snapshot-every <pages>]\n");
+               "[--snapshot-every <pages>]\n"
+               "                    [--power-cut-at <host write #>] "
+               "[--recover]\n"
+               "                    [--program-fail-prob <p>] "
+               "[--erase-fail-prob <p>] [--fault-seed <n>]\n");
   std::exit(2);
 }
 
@@ -67,6 +80,11 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_every = 0;
   std::uint64_t csv_pages = 0;
   double drive_writes = 4.0;
+  constexpr std::uint64_t kNoCut = ~0ULL;
+  std::uint64_t power_cut_at = kNoCut;
+  bool do_recover = false;
+  FaultInjector::Config fault_cfg;
+  bool with_faults = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,7 +103,18 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out_path = next();
     else if (arg == "--snapshot-every")
       snapshot_every = std::strtoull(next(), nullptr, 10);
-    else usage();
+    else if (arg == "--power-cut-at")
+      power_cut_at = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--recover") do_recover = true;
+    else if (arg == "--program-fail-prob") {
+      fault_cfg.program_fail_prob = std::atof(next());
+      with_faults = true;
+    } else if (arg == "--erase-fail-prob") {
+      fault_cfg.erase_fail_prob = std::atof(next());
+      with_faults = true;
+    } else if (arg == "--fault-seed") {
+      fault_cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else usage();
   }
 
   // --- build trace + drive config ---
@@ -116,6 +145,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // The injector must outlive the FTL (FtlConfig holds a raw pointer).
+  FaultInjector injector(fault_cfg);
+  if (with_faults) cfg.fault_injector = &injector;
+
   std::unique_ptr<FtlBase> ftl;
   if (scheme == "Base") ftl = std::make_unique<BaseFtl>(cfg);
   else if (scheme == "2R") ftl = std::make_unique<TwoRFtl>(cfg);
@@ -133,7 +166,45 @@ int main(int argc, char** argv) {
               trace.name.c_str(), trace.ops.size(),
               static_cast<unsigned long long>(trace.total_write_pages()),
               ftl->name().c_str());
-  for (const auto& req : trace.ops) ftl->submit(req);
+  std::uint64_t written = 0;
+  bool cut_done = false;
+  for (const auto& req : trace.ops) {
+    if (!cut_done && power_cut_at != kNoCut && req.op == OpType::kWrite &&
+        written + req.num_pages > power_cut_at) {
+      // The cut lands inside this request: the pages before the cut are
+      // acknowledged, the rest never reach flash (a torn request).
+      const auto keep = static_cast<std::uint32_t>(power_cut_at - written);
+      if (keep > 0) {
+        HostRequest pre = req;
+        pre.num_pages = keep;
+        ftl->submit(pre);
+        written += keep;
+      }
+      cut_done = true;
+      std::printf("\npower cut after %llu acknowledged host writes\n",
+                  static_cast<unsigned long long>(written));
+      if (!do_recover) break;  // inspect the dead drive's statistics
+      const RecoveryReport rep = ftl->recover();
+      std::printf(
+          "recovered: %llu OOB scans, %llu mapped LPNs, %llu open "
+          "superblocks closed, vclock %llu, %.3f ms\n\n",
+          static_cast<unsigned long long>(rep.oob_scans),
+          static_cast<unsigned long long>(rep.mapped_lpns),
+          static_cast<unsigned long long>(rep.open_sbs_closed),
+          static_cast<unsigned long long>(rep.recovered_vclock),
+          static_cast<double>(rep.rebuild_ns) * 1e-6);
+      if (keep < req.num_pages) {  // the host retries the torn remainder
+        HostRequest post = req;
+        post.start_lpn += keep;
+        post.num_pages -= keep;
+        ftl->submit(post);
+        written += post.num_pages;
+      }
+      continue;
+    }
+    ftl->submit(req);
+    if (req.op == OpType::kWrite) written += req.num_pages;
+  }
 
   const FtlStats& s = ftl->stats();
   std::printf(
@@ -153,6 +224,18 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ftl->flash().max_erase_count()),
       static_cast<unsigned long long>(s.gc_invocations),
       static_cast<unsigned long long>(s.host_reads));
+  if (with_faults || s.program_failures > 0 || s.erase_failures > 0) {
+    std::printf(
+        "  program failures      %llu (pages consumed, data retried)\n"
+        "  erase failures        %llu\n"
+        "  blocks retired        %llu\n"
+        "  bad superblocks       %llu of %llu\n",
+        static_cast<unsigned long long>(s.program_failures),
+        static_cast<unsigned long long>(s.erase_failures),
+        static_cast<unsigned long long>(s.blocks_retired),
+        static_cast<unsigned long long>(ftl->flash().bad_block_count()),
+        static_cast<unsigned long long>(cfg.geom.num_superblocks()));
+  }
 
   if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
     phftl->finalize_evaluation();

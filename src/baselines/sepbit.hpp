@@ -13,6 +13,7 @@
 // is greedy, as in the SepBIT paper.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,23 @@ class SepBitFtl : public FtlBase {
     // Greedy: the victim index pops a fewest-valid closed superblock in
     // O(1) — same score as the historical full-scan argmax.
     return greedy_victim();
+  }
+
+  void on_recovery(const RecoveryReport& /*report*/) override {
+    // Unclean shutdown (docs/RECOVERY.md): ℓ and the class-1 flags are
+    // RAM-only — restart them at bootstrap defaults. Last-write times ARE
+    // re-derivable: every valid page's OOB write_time is the timestamp of
+    // its last host write (GC copies preserve it), which is exactly what
+    // classify_user_write needs to infer v on the next overwrite.
+    lifetime_estimate_ = static_cast<double>(logical_pages()) * 0.1;
+    window_sum_ = 0.0;
+    window_count_ = 0;
+    std::fill(was_class1_.begin(), was_class1_.end(), 0);
+    std::fill(last_user_write_.begin(), last_user_write_.end(), kNever);
+    for (Lpn lpn = 0; lpn < logical_pages(); ++lpn) {
+      if (!is_mapped(lpn)) continue;
+      last_user_write_[lpn] = flash().read_oob(lookup(lpn)).write_time;
+    }
   }
 
  private:

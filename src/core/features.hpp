@@ -16,6 +16,7 @@
 // without overflow (paper §III-B).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -82,6 +83,16 @@ class FeatureTracker {
   /// by the caller (device: from ML metadata; trainer: from its mirror).
   RawFeatures make_features(Lpn lpn, std::uint32_t prev_lifetime,
                             const WriteContext& ctx) const;
+
+  /// Power-cut reset: chunk locality counters and the global read/write
+  /// ratio are RAM-only approximations — restart them empty.
+  void reset() {
+    std::fill(chunk_write_.begin(), chunk_write_.end(), 0);
+    std::fill(chunk_read_.begin(), chunk_read_.end(), 0);
+    recent_reads_ = 0;
+    recent_writes_ = 0;
+    since_decay_ = 0;
+  }
 
   std::uint8_t read_write_percent() const;
   std::uint16_t chunk_writes(Lpn lpn) const {

@@ -85,6 +85,12 @@ void MetaStore::on_superblock_erased(std::uint64_t sb) {
             MetaEntry{});
 }
 
+void MetaStore::reset_cold() {
+  index_.clear();
+  lru_.clear();
+  std::fill(entries_.begin(), entries_.end(), MetaEntry{});
+}
+
 void MetaStore::touch(std::uint64_t mppn) {
   auto it = index_.find(mppn);
   PHFTL_CHECK(it != index_.end());

@@ -81,6 +81,13 @@ class MetaStore {
   /// Superblock erased: its meta pages are gone; drop them from the cache.
   void on_superblock_erased(std::uint64_t sb);
 
+  /// Power-cut cold start (docs/RECOVERY.md): the RAM cache and the open
+  /// superblocks' write buffers are gone. Drops every cached meta page and
+  /// wipes all entries; the owner repopulates the valid pages' entries from
+  /// their per-page OOB copies during recovery. Hit/miss statistics are
+  /// process-lifetime diagnostics and survive.
+  void reset_cold();
+
   // --- statistics (paper §V-B cache-hit analysis) ---
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }

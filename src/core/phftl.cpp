@@ -270,6 +270,36 @@ void PhftlFtl::fill_user_oob(Lpn /*lpn*/, OobData& oob) {
   oob.hidden = scratch_entry_.hidden;
 }
 
+void PhftlFtl::on_recovery(const RecoveryReport& /*report*/) {
+  // Meta store: RAM cache and open-superblock write buffers are gone.
+  // The flash-resident truth is the per-page OOB copy (§III-C) — meta
+  // pages of blocks closed before the cut also survive, but the OOB copy
+  // covers every valid page including those of blocks the cut left open,
+  // so it alone reconstitutes the store.
+  meta_.reset_cold();
+  const std::uint64_t total = geom().total_pages();
+  for (Ppn ppn = 0; ppn < total; ++ppn) {
+    if (!page_valid(ppn)) continue;
+    const OobData& oob = flash().read_oob(ppn);
+    MetaEntry entry;
+    entry.write_time = oob.write_time;
+    entry.hidden = oob.hidden;
+    meta_.put(ppn, entry);
+  }
+
+  // Host-side learning state has no flash footprint: reset to the
+  // safe defaults. The model is undeployed (user writes share the long
+  // stream, as before the first deployment) until the first post-mount
+  // window retrains; the threshold restarts at its pre-first-window
+  // sentinel, so Adjusted Greedy falls back to its threshold-free form.
+  trainer_.reset();
+  tracker_.reset();
+
+  // Outstanding predictions lost their ground truth; never score them.
+  std::fill(pending_.begin(), pending_.end(), Pending{});
+  scratch_entry_ = MetaEntry{};
+}
+
 void PhftlFtl::finalize_evaluation() {
   for (auto& pend : pending_) {
     if (pend.predicted != 2) {

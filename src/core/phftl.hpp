@@ -88,6 +88,10 @@ class PhftlFtl : public FtlBase {
   void on_gc_write_complete(Lpn lpn, Ppn new_ppn,
                             const OobData& oob) override;
   void fill_user_oob(Lpn lpn, OobData& oob) override;
+  /// Unclean-shutdown re-derivation (docs/RECOVERY.md): meta entries come
+  /// back from the per-page OOB copies; the trainer, threshold, feature
+  /// tracker, and outstanding Table-I predictions reset to safe defaults.
+  void on_recovery(const RecoveryReport& report) override;
 
  private:
   /// Fetch the page's ML metadata (through the cache, charging a meta read

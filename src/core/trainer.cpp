@@ -28,6 +28,14 @@ ModelTrainer::ModelTrainer(const Config& cfg)
   samples_.reserve(cfg_.max_window_samples);
 }
 
+void ModelTrainer::reset() {
+  // Rebuild from the original config: fresh RNG, untrained float model,
+  // undeployed quantized model, pre-first-window threshold, empty
+  // histories/samples. Cheaper bookkeeping (windows_, trainings_) restarts
+  // too — the trainer's whole lifetime is RAM-only.
+  *this = ModelTrainer(cfg_);
+}
+
 std::vector<RawFeatures> ModelTrainer::history_snapshot(
     const History& h) const {
   // Oldest → newest, at most history_len entries.

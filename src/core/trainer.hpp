@@ -66,6 +66,15 @@ class ModelTrainer {
   /// Returns true when a new model was trained and deployed.
   bool maybe_train();
 
+  /// Power-cut reset to safe defaults (docs/RECOVERY.md): the trainer is
+  /// host-RAM state with no flash footprint, so nothing is recoverable.
+  /// Drops the model (undeployed — user writes share the long stream until
+  /// the first post-mount window trains), the threshold (back to the
+  /// pre-first-window sentinel), histories, and window samples. The RNG
+  /// restarts from the configured seed, keeping post-mount runs
+  /// deterministic.
+  void reset();
+
   // --- deployment state (what the device sees) ---
   bool model_deployed() const { return deployed_.deployed(); }
   const ml::QuantizedGru& deployed_model() const { return deployed_; }

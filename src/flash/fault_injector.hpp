@@ -1,0 +1,112 @@
+// Deterministic, seedable NAND fault injector.
+//
+// Real NAND fails: program operations abort on weak pages, erases fail as
+// blocks wear out, and dies ship with factory bad blocks. The simulator's
+// default is a perfect array; attaching a FaultInjector (FtlConfig::
+// fault_injector) makes the FlashArray consult it before every program and
+// erase, so the FTL's degradation paths (retry-on-fresh-page, block
+// retirement, bad-block exclusion — see docs/RECOVERY.md) become testable.
+//
+// Two injection mechanisms compose:
+//   * probabilistic: each program/erase fails independently with the
+//     configured probability, drawn from a seeded xoshiro256** stream so a
+//     (seed, workload) pair reproduces the exact same failure sequence;
+//   * scheduled: fail the k-th program/erase operation (0-based over the
+//     array's lifetime), for pinpoint regression tests and crash labs.
+// Factory bad blocks are listed in the config and applied when the injector
+// is attached; the FTL never opens them.
+//
+// The injector only *decides*; the FlashArray records the failure effects
+// (consumed page / bad block) and the FTL reacts. All decisions are counted
+// so tests can assert on exactly what was injected.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace phftl {
+
+class FaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// Probability that any single program operation fails.
+    double program_fail_prob = 0.0;
+    /// Probability that any single erase operation fails (block goes bad).
+    double erase_fail_prob = 0.0;
+    /// Superblocks marked bad at attach time (factory bad blocks).
+    std::vector<std::uint64_t> factory_bad_blocks;
+  };
+
+  FaultInjector() : FaultInjector(Config{}) {}
+  explicit FaultInjector(const Config& cfg) : cfg_(cfg), rng_(cfg.seed) {
+    std::sort(cfg_.factory_bad_blocks.begin(), cfg_.factory_bad_blocks.end());
+  }
+
+  const Config& config() const { return cfg_; }
+
+  /// Fail the k-th program operation (0-based, counted over all programs
+  /// the attached array attempts). May be called repeatedly.
+  void schedule_program_failure(std::uint64_t op_index) {
+    insert_sorted(program_schedule_, op_index);
+  }
+  /// Fail the k-th erase operation (0-based).
+  void schedule_erase_failure(std::uint64_t op_index) {
+    insert_sorted(erase_schedule_, op_index);
+  }
+
+  /// Called by FlashArray once per attempted program; true = inject failure.
+  bool next_program_fails() {
+    const std::uint64_t op = programs_seen_++;
+    if (take_scheduled(program_schedule_, op) ||
+        (cfg_.program_fail_prob > 0.0 &&
+         rng_.next_double() < cfg_.program_fail_prob)) {
+      ++program_failures_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Called by FlashArray once per attempted erase; true = inject failure.
+  bool next_erase_fails() {
+    const std::uint64_t op = erases_seen_++;
+    if (take_scheduled(erase_schedule_, op) ||
+        (cfg_.erase_fail_prob > 0.0 &&
+         rng_.next_double() < cfg_.erase_fail_prob)) {
+      ++erase_failures_;
+      return true;
+    }
+    return false;
+  }
+
+  // --- accounting (what was actually injected) ---
+  std::uint64_t programs_seen() const { return programs_seen_; }
+  std::uint64_t erases_seen() const { return erases_seen_; }
+  std::uint64_t program_failures_injected() const { return program_failures_; }
+  std::uint64_t erase_failures_injected() const { return erase_failures_; }
+
+ private:
+  static void insert_sorted(std::vector<std::uint64_t>& v, std::uint64_t x) {
+    v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+  }
+  static bool take_scheduled(std::vector<std::uint64_t>& v, std::uint64_t op) {
+    const auto it = std::lower_bound(v.begin(), v.end(), op);
+    if (it == v.end() || *it != op) return false;
+    v.erase(it);
+    return true;
+  }
+
+  Config cfg_;
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> program_schedule_;  ///< sorted op indices
+  std::vector<std::uint64_t> erase_schedule_;
+  std::uint64_t programs_seen_ = 0;
+  std::uint64_t erases_seen_ = 0;
+  std::uint64_t program_failures_ = 0;
+  std::uint64_t erase_failures_ = 0;
+};
+
+}  // namespace phftl

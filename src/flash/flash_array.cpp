@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "flash/fault_injector.hpp"
+
 namespace phftl {
 
 FlashArray::FlashArray(const Geometry& geom)
@@ -11,6 +13,19 @@ FlashArray::FlashArray(const Geometry& geom)
       oob_(geom.total_pages()),
       programmed_(geom.total_pages(), 0) {
   geom_.validate();
+}
+
+void FlashArray::attach_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  if (!injector_) return;
+  for (const std::uint64_t sb : injector_->config().factory_bad_blocks) {
+    PHFTL_CHECK(sb < sbs_.size());
+    if (sbs_[sb].state == SuperblockState::kBad) continue;
+    PHFTL_CHECK_MSG(sbs_[sb].state == SuperblockState::kFree,
+                    "factory bad blocks must be marked before first use");
+    sbs_[sb].state = SuperblockState::kBad;
+    ++bad_blocks_;
+  }
 }
 
 void FlashArray::open_superblock(std::uint64_t sb) {
@@ -28,10 +43,18 @@ void FlashArray::close_superblock(std::uint64_t sb) {
   sbs_[sb].state = SuperblockState::kClosed;
 }
 
-void FlashArray::erase_superblock(std::uint64_t sb) {
+bool FlashArray::erase_superblock(std::uint64_t sb) {
   PHFTL_CHECK(sb < sbs_.size());
   PHFTL_CHECK_MSG(sbs_[sb].state == SuperblockState::kClosed,
                   "only closed superblocks are erased");
+  if (injector_ && injector_->next_erase_fails()) {
+    // The block failed to erase: it leaves service permanently. Its page
+    // contents are undefined from here on; nothing may program or read it.
+    sbs_[sb].state = SuperblockState::kBad;
+    ++erase_failures_;
+    ++bad_blocks_;
+    return false;
+  }
   const std::uint64_t base = sb * geom_.pages_per_superblock();
   const std::uint64_t n = geom_.pages_per_superblock();
   std::fill(programmed_.begin() + static_cast<std::ptrdiff_t>(base),
@@ -40,6 +63,15 @@ void FlashArray::erase_superblock(std::uint64_t sb) {
   sbs_[sb].next_offset = 0;
   ++sbs_[sb].erase_count;
   ++erases_;
+  return true;
+}
+
+void FlashArray::retire_superblock(std::uint64_t sb) {
+  PHFTL_CHECK(sb < sbs_.size());
+  PHFTL_CHECK_MSG(sbs_[sb].state == SuperblockState::kClosed,
+                  "retire a block after closing and draining it");
+  sbs_[sb].state = SuperblockState::kBad;
+  ++bad_blocks_;
 }
 
 Ppn FlashArray::program(std::uint64_t sb, std::uint64_t payload,
@@ -52,6 +84,13 @@ Ppn FlashArray::program(std::uint64_t sb, std::uint64_t payload,
                   "superblock is full");
   const Ppn ppn = geom_.make_ppn(sb, info.next_offset);
   PHFTL_CHECK_MSG(!programmed_[ppn], "double program without erase");
+  if (injector_ && injector_->next_program_fails()) {
+    // Program abort: the page is consumed (in-order programming cannot
+    // revisit it) but holds no reliable data. The caller retries elsewhere.
+    ++info.next_offset;
+    ++program_failures_;
+    return kInvalidPpn;
+  }
   programmed_[ppn] = 1;
   payload_[ppn] = payload;
   oob_[ppn] = oob;

@@ -9,6 +9,14 @@
 // The array stores a 64-bit payload per page (enough for integrity checking
 // via stored LPN/value) plus a fixed-size OOB blob, and counts every program,
 // read, and erase for write-amplification and endurance accounting.
+//
+// Fault model (docs/RECOVERY.md): with a FaultInjector attached, program()
+// may fail (the targeted page is consumed but holds no data; returns
+// kInvalidPpn) and erase_superblock() may fail (the block goes bad and
+// leaves service; returns false). A superblock in the kBad state accepts no
+// further operations; retire_superblock() moves a closed block there
+// without an erase (the FTL's reaction to a program failure, after GC has
+// migrated the block's valid data out).
 #pragma once
 
 #include <array>
@@ -19,6 +27,8 @@
 #include "util/assert.hpp"
 
 namespace phftl {
+
+class FaultInjector;
 
 /// Per-page out-of-band area. Sized to hold the PHFTL per-page metadata
 /// copy (LPN + 4B write timestamp + 32B hidden state, §III-C) with room to
@@ -35,7 +45,7 @@ struct OobData {
   std::uint64_t program_seq = 0;
 };
 
-enum class SuperblockState : std::uint8_t { kFree, kOpen, kClosed };
+enum class SuperblockState : std::uint8_t { kFree, kOpen, kClosed, kBad };
 
 class FlashArray {
  public:
@@ -43,17 +53,36 @@ class FlashArray {
 
   const Geometry& geometry() const { return geom_; }
 
+  /// Attach (or detach, with nullptr) a fault injector. Factory bad blocks
+  /// listed in the injector's config are marked bad immediately; attach
+  /// before the FTL builds its free pool.
+  void attach_fault_injector(FaultInjector* injector);
+
   // --- Superblock lifecycle ---
   SuperblockState state(std::uint64_t sb) const { return sbs_[sb].state; }
+  bool is_bad(std::uint64_t sb) const {
+    return sbs_[sb].state == SuperblockState::kBad;
+  }
 
   /// Transition a free superblock to open (write pointer at offset 0).
   void open_superblock(std::uint64_t sb);
 
-  /// Mark a fully-programmed open superblock closed (read-only).
+  /// Mark a (possibly partially programmed) open superblock closed
+  /// (read-only). The FTL closes early on program failure and at mount time
+  /// for blocks left open by a power cut.
   void close_superblock(std::uint64_t sb);
 
-  /// Erase: all pages become unprogrammed; state returns to free.
-  void erase_superblock(std::uint64_t sb);
+  /// Erase: all pages become unprogrammed; state returns to free. With an
+  /// attached injector the erase may fail — the block then goes bad
+  /// permanently (contents undefined, no further operations) and the call
+  /// returns false.
+  bool erase_superblock(std::uint64_t sb);
+
+  /// Take a closed superblock out of service without erasing it (the FTL
+  /// retires blocks that failed a program once their valid data has been
+  /// migrated away). Stale page contents remain but the block is kBad and
+  /// excluded from mount-time scans.
+  void retire_superblock(std::uint64_t sb);
 
   /// Next offset to be programmed in an open superblock.
   std::uint64_t write_pointer(std::uint64_t sb) const {
@@ -67,7 +96,11 @@ class FlashArray {
   }
 
   // --- Page operations ---
-  /// Program the next page of open superblock `sb`; returns its PPN.
+  /// Program the next page of open superblock `sb`; returns its PPN. With
+  /// an attached injector the program may fail: the targeted page is
+  /// consumed (the write pointer advances — NAND cannot retry a page) but
+  /// stays unprogrammed, and kInvalidPpn is returned. The FTL must retry
+  /// the data elsewhere and retire the block.
   Ppn program(std::uint64_t sb, std::uint64_t payload, const OobData& oob);
 
   /// Read a programmed page's payload.
@@ -81,6 +114,13 @@ class FlashArray {
   std::uint64_t total_reads() const { return reads_; }
   std::uint64_t total_erases() const { return erases_; }
   std::uint64_t max_erase_count() const;
+  /// Injected program failures observed by this array.
+  std::uint64_t program_failures() const { return program_failures_; }
+  /// Injected erase failures observed by this array.
+  std::uint64_t erase_failures() const { return erase_failures_; }
+  /// Superblocks currently out of service (factory bad + retired + erase
+  /// failures).
+  std::uint64_t bad_block_count() const { return bad_blocks_; }
 
  private:
   struct SbInfo {
@@ -94,10 +134,14 @@ class FlashArray {
   std::vector<std::uint64_t> payload_;
   std::vector<OobData> oob_;
   std::vector<std::uint8_t> programmed_;
+  FaultInjector* injector_ = nullptr;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t programs_ = 0;
   std::uint64_t erases_ = 0;
   std::uint64_t program_seq_ = 0;
+  std::uint64_t program_failures_ = 0;
+  std::uint64_t erase_failures_ = 0;
+  std::uint64_t bad_blocks_ = 0;
 };
 
 }  // namespace phftl

@@ -1,7 +1,9 @@
 #include "ftl/ftl_base.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "flash/fault_injector.hpp"
 #include "util/log.hpp"
 
 namespace phftl {
@@ -18,12 +20,17 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
       valid_bit_(cfg.geom.total_pages(), 0),
       gc_count_(cfg.geom.total_pages(), 0),
       sb_meta_(cfg.geom.num_superblocks()),
-      open_(num_streams) {
+      open_(num_streams),
+      pending_retire_(cfg.geom.num_superblocks(), 0) {
   PHFTL_CHECK_MSG(num_streams_ >= 1, "at least one stream required");
+  // Attach the injector before building the free pool: factory bad blocks
+  // are marked at attach time and must never enter circulation.
+  flash_.attach_fault_injector(cfg.fault_injector);
   // GC trigger (paper §III-D): collect when the free-superblock proportion
   // drops below the threshold. The trigger must be *satisfiable*: the
-  // over-provisioned space, expressed in superblocks, has to exceed it, or
-  // GC could never push the free count back above the line.
+  // over-provisioned space, expressed in superblocks, has to exceed it —
+  // even after factory bad blocks are deducted — or GC could never push
+  // the free count back above the line.
   const auto ratio_count = static_cast<std::uint64_t>(
       static_cast<double>(cfg.geom.num_superblocks()) *
           cfg.gc_free_threshold +
@@ -31,13 +38,16 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
   gc_trigger_count_ = std::max<std::uint64_t>(ratio_count, 2);
   const auto op_superblocks = static_cast<std::uint64_t>(
       static_cast<double>(cfg.geom.num_superblocks()) * cfg.op_ratio);
-  PHFTL_CHECK_MSG(op_superblocks >= gc_trigger_count_,
-                  "GC trigger exceeds over-provisioning headroom; use more "
-                  "(or smaller) superblocks");
-  PHFTL_CHECK_MSG(cfg.geom.num_superblocks() > gc_trigger_count_ + num_streams_,
+  PHFTL_CHECK_MSG(
+      op_superblocks >= gc_trigger_count_ + flash_.bad_block_count(),
+      "GC trigger exceeds over-provisioning headroom; use more "
+      "(or smaller) superblocks, or fewer factory bad blocks");
+  PHFTL_CHECK_MSG(cfg.geom.num_superblocks() >
+                      gc_trigger_count_ + num_streams_ +
+                          flash_.bad_block_count(),
                   "geometry too small for stream count");
   for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
-    free_pool_.push_back(sb);
+    if (!flash_.is_bad(sb)) free_pool_.push_back(sb);
   victim_index_.reset(cfg.geom.num_superblocks(),
                       cfg.geom.pages_per_superblock());
   register_ftl_metrics();
@@ -76,6 +86,25 @@ void FtlBase::register_ftl_metrics() {
   host_reads_ctr_ =
       &m.counter("ftl.host_reads", "pages", "mapped host pages read");
   trims_ctr_ = &m.counter("ftl.trims", "pages", "logical pages discarded");
+  program_fail_ctr_ =
+      &m.counter("flash.program_failures", "pages",
+                 "program operations that aborted (page consumed, data "
+                 "retried on a fresh page)");
+  erase_fail_ctr_ = &m.counter("flash.erase_failures", "superblocks",
+                               "erase operations that failed (block went "
+                               "bad in place)");
+  retired_ctr_ = &m.counter("flash.blocks_retired", "superblocks",
+                            "superblocks retired after a program failure "
+                            "(drained by GC, no erase)");
+  recovery_mounts_ctr_ = &m.counter("recovery.mounts", "mounts",
+                                    "recover() calls (unclean-shutdown "
+                                    "mounts serviced)");
+  recovery_oob_scans_ctr_ =
+      &m.counter("recovery.oob_scans", "pages",
+                 "OOB areas inspected across all mount-time rebuilds");
+  recovery_rebuild_ns_ctr_ =
+      &m.counter("recovery.rebuild_ns", "ns",
+                 "cumulative wall-clock time spent in recover()");
   // Victim quality: the paper's separation claim is precisely that victims
   // land in the low buckets of this histogram.
   const std::uint64_t ppsb = geom().pages_per_superblock();
@@ -87,6 +116,9 @@ void FtlBase::register_ftl_metrics() {
   victim_valid_hist_ =
       &m.histogram("ftl.gc.victim_valid_pages", std::move(edges), "pages",
                    "valid-page count of each collected GC victim");
+  bad_blocks_gauge_ = &m.gauge("flash.bad_blocks", "superblocks",
+                               "superblocks out of service (factory bad + "
+                               "retired + erase failures)");
   wa_gauge_ = &m.gauge("ftl.write_amplification", "ratio",
                        "(flash writes - user writes) / user writes");
   free_sb_gauge_ =
@@ -98,6 +130,7 @@ void FtlBase::register_ftl_metrics() {
 }
 
 void FtlBase::refresh_observability() {
+  bad_blocks_gauge_->set(static_cast<double>(flash_.bad_block_count()));
   wa_gauge_->set(stats_.write_amplification());
   free_sb_gauge_->set(static_cast<double>(free_pool_.size()));
   closed_sb_gauge_->set(static_cast<double>(victim_index_.size()));
@@ -202,55 +235,84 @@ std::uint64_t FtlBase::allocate_superblock(std::uint32_t stream) {
 
 Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
                     const OobData& oob) {
-  std::uint32_t target = stream;
-  if (open_[stream].sb == OpenStream::kNoSb && free_pool_.empty()) {
-    // Memory-pressure fallback: GC migration may transiently need a fresh
-    // superblock when none is free. Borrow space from any stream that still
-    // has an open superblock (real firmware mixes streams under pressure)
-    // rather than deadlocking; separation quality degrades for those few
-    // pages only.
-    PHFTL_CHECK_MSG(in_gc_, "free pool exhausted outside GC");
-    bool found = false;
-    for (std::uint32_t s = 0; s < num_streams_; ++s) {
-      if (open_[s].sb != OpenStream::kNoSb) {
-        target = s;
-        found = true;
-        break;
+  // Program failures restart the loop: the failing superblock is closed and
+  // marked for retirement, and the page retries on a fresh superblock. The
+  // attempt bound only trips under absurd fault rates (each attempt consumes
+  // a whole superblock).
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    PHFTL_CHECK_MSG(attempt < 64, "program retry limit exceeded");
+    std::uint32_t target = stream;
+    if (open_[stream].sb == OpenStream::kNoSb && free_pool_.empty()) {
+      // Memory-pressure fallback: GC migration may transiently need a fresh
+      // superblock when none is free. Borrow space from any stream that
+      // still has an open superblock (real firmware mixes streams under
+      // pressure) rather than deadlocking; separation quality degrades for
+      // those few pages only.
+      PHFTL_CHECK_MSG(in_gc_, "free pool exhausted outside GC");
+      bool found = false;
+      for (std::uint32_t s = 0; s < num_streams_; ++s) {
+        if (open_[s].sb != OpenStream::kNoSb) {
+          target = s;
+          found = true;
+          break;
+        }
       }
+      PHFTL_CHECK_MSG(found, "capacity exhausted: no open superblock left");
+      ++stats_.stream_borrows;
+      stream_borrows_ctr_->inc();
     }
-    PHFTL_CHECK_MSG(found, "capacity exhausted: no open superblock left");
-    ++stats_.stream_borrows;
-    stream_borrows_ctr_->inc();
-  }
-  OpenStream& os = open_[target];
-  if (os.sb == OpenStream::kNoSb) {
-    os.sb = allocate_superblock(target);
-    obs_.trace().record(obs::TraceEventType::kSuperblockOpen, virtual_clock_,
-                        os.sb, 0, target);
-  }
+    OpenStream& os = open_[target];
+    if (os.sb == OpenStream::kNoSb) {
+      os.sb = allocate_superblock(target);
+      obs_.trace().record(obs::TraceEventType::kSuperblockOpen, virtual_clock_,
+                          os.sb, 0, target);
+    }
 
-  const Ppn ppn = flash_.program(os.sb, payload, oob);
-  p2l_[ppn] = lpn;
-  valid_bit_[ppn] = 1;
-  ++sb_meta_[os.sb].valid_count;
-  stream_flash_writes_[target]->inc();
-  obs_.trace().record(obs::TraceEventType::kFlashProgram, virtual_clock_, ppn,
-                      0, target);
+    const Ppn ppn = flash_.program(os.sb, payload, oob);
+    if (ppn == kInvalidPpn) {
+      // Program abort: the targeted page is consumed and empty. A block
+      // that failed a program is untrustworthy — close it immediately
+      // (skipping finalize_superblock: no meta pages go into a failing
+      // block; their content is recoverable from the per-page OOB copies)
+      // and mark it for retirement. Its valid pages stay readable; GC will
+      // drain them and retire the block instead of erasing it.
+      ++stats_.program_failures;
+      program_fail_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kProgramFail, virtual_clock_,
+                          os.sb, 0, target);
+      flash_.close_superblock(os.sb);
+      sb_meta_[os.sb].close_time = virtual_clock_;
+      pending_retire_[os.sb] = 1;
+      victim_index_.insert(os.sb, sb_meta_[os.sb].valid_count);
+      obs_.trace().record(obs::TraceEventType::kSuperblockClose,
+                          virtual_clock_, os.sb, sb_meta_[os.sb].valid_count,
+                          target);
+      os.sb = OpenStream::kNoSb;
+      continue;
+    }
+    p2l_[ppn] = lpn;
+    valid_bit_[ppn] = 1;
+    ++sb_meta_[os.sb].valid_count;
+    stream_flash_writes_[target]->inc();
+    obs_.trace().record(obs::TraceEventType::kFlashProgram, virtual_clock_,
+                        ppn, 0, target);
 
-  // Close the superblock when its data region fills. finalize_superblock()
-  // may program meta pages into the tail first (PHFTL, Fig. 4).
-  if (flash_.write_pointer(os.sb) >= data_capacity(os.sb)) {
-    finalize_superblock(os.sb);
-    // Any tail pages finalize did not use are skipped (left unprogrammed);
-    // real firmware pads them. They are simply not mapped.
-    flash_.close_superblock(os.sb);
-    sb_meta_[os.sb].close_time = virtual_clock_;
-    victim_index_.insert(os.sb, sb_meta_[os.sb].valid_count);
-    obs_.trace().record(obs::TraceEventType::kSuperblockClose, virtual_clock_,
-                        os.sb, sb_meta_[os.sb].valid_count, target);
-    os.sb = OpenStream::kNoSb;
+    // Close the superblock when its data region fills. finalize_superblock()
+    // may program meta pages into the tail first (PHFTL, Fig. 4).
+    if (flash_.write_pointer(os.sb) >= data_capacity(os.sb)) {
+      finalize_superblock(os.sb);
+      // Any tail pages finalize did not use are skipped (left unprogrammed);
+      // real firmware pads them. They are simply not mapped.
+      flash_.close_superblock(os.sb);
+      sb_meta_[os.sb].close_time = virtual_clock_;
+      victim_index_.insert(os.sb, sb_meta_[os.sb].valid_count);
+      obs_.trace().record(obs::TraceEventType::kSuperblockClose,
+                          virtual_clock_, os.sb, sb_meta_[os.sb].valid_count,
+                          target);
+      os.sb = OpenStream::kNoSb;
+    }
+    return ppn;
   }
-  return ppn;
 }
 
 Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
@@ -258,6 +320,18 @@ Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
                   "meta pages go into the still-open superblock");
   OobData oob;  // meta pages carry no logical mapping
   const Ppn ppn = flash_.program(sb, payload, oob);
+  if (ppn == kInvalidPpn) {
+    // A failed meta page is tolerable — the per-page OOB copies remain
+    // authoritative for recovery (§III-C) — but the block is untrustworthy:
+    // mark it for retirement. The caller keeps programming its remaining
+    // meta pages; each tail slot is attempted exactly once either way.
+    ++stats_.program_failures;
+    program_fail_ctr_->inc();
+    pending_retire_[sb] = 1;
+    obs_.trace().record(obs::TraceEventType::kProgramFail, virtual_clock_, sb,
+                        0, sb_meta_[sb].stream);
+    return kInvalidPpn;
+  }
   ++stats_.meta_writes;
   meta_writes_ctr_->inc();
   stream_flash_writes_[sb_meta_[sb].stream]->inc();
@@ -266,7 +340,7 @@ Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
   return ppn;
 }
 
-void FtlBase::rebuild_mapping_from_flash() {
+std::uint64_t FtlBase::rebuild_mapping_from_flash() {
   // Wipe the volatile structures.
   std::fill(l2p_.begin(), l2p_.end(), kInvalidPpn);
   std::fill(p2l_.begin(), p2l_.end(), kInvalidLpn);
@@ -275,13 +349,20 @@ void FtlBase::rebuild_mapping_from_flash() {
   for (auto& meta : sb_meta_) meta.valid_count = 0;
 
   // Pass 1: the newest copy (highest program sequence) of each LPN wins.
+  // Free blocks hold nothing; bad blocks are excluded because their
+  // contents are undefined (erase failure) or fully drained by GC before
+  // retirement — the newest copy of an LPN never lives there.
+  std::uint64_t oob_scans = 0;
   std::vector<std::uint64_t> best_seq(logical_pages_, 0);
   for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
-    if (flash_.state(sb) == SuperblockState::kFree) continue;
+    if (flash_.state(sb) == SuperblockState::kFree ||
+        flash_.state(sb) == SuperblockState::kBad)
+      continue;
     const std::uint64_t limit = flash_.write_pointer(sb);
     for (std::uint64_t off = 0; off < limit; ++off) {
       const Ppn ppn = geom().make_ppn(sb, off);
       if (!flash_.is_programmed(ppn)) continue;
+      ++oob_scans;
       const OobData& oob = flash_.read_oob(ppn);
       if (oob.lpn == kInvalidLpn) continue;  // meta page, not user data
       PHFTL_CHECK(oob.lpn < logical_pages_);
@@ -307,6 +388,78 @@ void FtlBase::rebuild_mapping_from_flash() {
   for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb)
     if (flash_.state(sb) == SuperblockState::kClosed)
       victim_index_.insert(sb, sb_meta_[sb].valid_count);
+  return oob_scans;
+}
+
+RecoveryReport FtlBase::recover() {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryReport rep;
+
+  // Step 1: a power cut leaves superblocks open with the write pointer
+  // mid-block. Close them read-only — their unwritten tail pages are
+  // abandoned (no meta pages are programmed; PHFTL's entries survive in
+  // the per-page OOB copies). They join the closed set in pass 3 below.
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
+    if (flash_.state(sb) == SuperblockState::kOpen) {
+      flash_.close_superblock(sb);
+      ++rep.open_sbs_closed;
+    }
+  }
+
+  // Step 2: everything RAM-only is gone.
+  for (auto& os : open_) os.sb = OpenStream::kNoSb;
+  std::fill(pending_retire_.begin(), pending_retire_.end(), 0);
+  prev_req_end_ = kInvalidLpn;
+  in_gc_ = false;
+
+  // Step 3: base mapping / validity / victim-index rebuild from OOB.
+  rep.oob_scans = rebuild_mapping_from_flash();
+
+  // Step 4: re-derive the virtual clock and per-superblock close times.
+  // Every programmed user page (valid or stale — GC copies preserve the
+  // original write_time) was written strictly before the cut, so
+  // max(write_time) + 1 is a lower bound on the pre-crash clock; lifetimes
+  // measured after resume are compressed by at most the gap (RECOVERY.md).
+  std::uint64_t vclock = 0;
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
+    const SuperblockState st = flash_.state(sb);
+    if (st == SuperblockState::kFree || st == SuperblockState::kBad) continue;
+    std::uint64_t sb_newest = 0;
+    const std::uint64_t limit = flash_.write_pointer(sb);
+    for (std::uint64_t off = 0; off < limit; ++off) {
+      const Ppn ppn = geom().make_ppn(sb, off);
+      if (!flash_.is_programmed(ppn)) continue;
+      const OobData& oob = flash_.read_oob(ppn);
+      if (oob.lpn == kInvalidLpn) continue;  // meta pages carry no timestamp
+      sb_newest = std::max<std::uint64_t>(sb_newest, oob.write_time + 1ULL);
+    }
+    sb_meta_[sb].close_time = sb_newest;  // newest page ~ when it closed
+    vclock = std::max(vclock, sb_newest);
+  }
+  virtual_clock_ = vclock;
+  rep.recovered_vclock = vclock;
+
+  // Step 5: rebuild the free pool (bad blocks stay out of circulation).
+  free_pool_.clear();
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb)
+    if (flash_.state(sb) == SuperblockState::kFree) free_pool_.push_back(sb);
+
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn)
+    if (l2p_[lpn] != kInvalidPpn) ++rep.mapped_lpns;
+
+  // Step 6: scheme-side re-derivation (meta cache, trainer, stream state).
+  on_recovery(rep);
+
+  rep.rebuild_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  recovery_mounts_ctr_->inc();
+  recovery_oob_scans_ctr_->add(rep.oob_scans);
+  recovery_rebuild_ns_ctr_->add(rep.rebuild_ns);
+  obs_.trace().record(obs::TraceEventType::kRecovery, virtual_clock_,
+                      rep.oob_scans, rep.rebuild_ns);
+  return rep;
 }
 
 void FtlBase::maybe_gc() {
@@ -321,7 +474,13 @@ void FtlBase::maybe_gc() {
 
 bool FtlBase::gc_once() {
   const std::uint64_t victim = pick_victim();
-  PHFTL_CHECK_MSG(victim != kNoVictim, "no GC victim available");
+  if (victim == kNoVictim) {
+    // No closed superblock to collect — possible when faults have retired
+    // blocks faster than writes close new ones. Back off rather than crash;
+    // allocate_superblock() reports genuine capacity exhaustion.
+    gc_aborted_ctr_->inc();
+    return false;
+  }
   PHFTL_CHECK(flash_.state(victim) == SuperblockState::kClosed);
   // A fully valid victim reclaims nothing: collecting it would only churn
   // pages. Transiently possible when the free target is momentarily
@@ -374,17 +533,35 @@ bool FtlBase::gc_once() {
   }
   PHFTL_CHECK(sb_meta_[victim].valid_count == 0);
   on_superblock_erased(victim);
-  flash_.erase_superblock(victim);
-  ++stats_.erases;
-  free_pool_.push_back(victim);
+  if (pending_retire_[victim]) {
+    // The block failed a program earlier; now that GC drained it, take it
+    // out of service for good. It never returns to the free pool.
+    pending_retire_[victim] = 0;
+    flash_.retire_superblock(victim);
+    ++stats_.blocks_retired;
+    retired_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kBlockRetired, virtual_clock_,
+                        victim);
+  } else if (!flash_.erase_superblock(victim)) {
+    // Erase failure: the block went bad in place and likewise leaves
+    // service. The round still made progress (the victim's pages moved);
+    // maybe_gc() keeps collecting until the free target is met.
+    ++stats_.erase_failures;
+    erase_fail_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kEraseFail, virtual_clock_,
+                        victim);
+  } else {
+    ++stats_.erases;
+    free_pool_.push_back(victim);
+    erases_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_,
+                        victim);
+  }
   in_gc_ = false;
   gc_rounds_ctr_->inc();
   gc_moved_ctr_->add(victim_valid);
-  erases_ctr_->inc();
   obs_.trace().record(obs::TraceEventType::kGcRoundEnd, virtual_clock_,
                       victim, victim_valid);
-  obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_,
-                      victim);
   return true;
 }
 

@@ -32,11 +32,27 @@
 
 namespace phftl {
 
+class FaultInjector;
+
 struct FtlConfig {
   Geometry geom;
   double op_ratio = 0.07;               ///< over-provisioning (paper: 7 %)
   double gc_free_threshold = 0.05;      ///< GC when free-superblock ratio < 5 %
   std::uint32_t max_gc_streams = 5;     ///< GC-count separation cap (paper: 5+)
+  /// Optional NAND fault injector (not owned; must outlive the FTL). When
+  /// set, programs/erases may fail and the FTL exercises its degradation
+  /// paths — see docs/RECOVERY.md §"Fault model".
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// What a mount-time recover() call observed and rebuilt. Returned to the
+/// caller and passed to the on_recovery() scheme hook.
+struct RecoveryReport {
+  std::uint64_t oob_scans = 0;        ///< OOB areas inspected by the rebuild
+  std::uint64_t mapped_lpns = 0;      ///< LPNs with a live mapping afterwards
+  std::uint64_t open_sbs_closed = 0;  ///< superblocks left open by the cut
+  std::uint64_t recovered_vclock = 0; ///< virtual clock after recovery
+  std::uint64_t rebuild_ns = 0;       ///< wall-clock time of the whole mount
 };
 
 class FtlBase {
@@ -89,10 +105,35 @@ class FtlBase {
   /// Mount-time recovery: rebuild the L2P table, validity bitmaps, and
   /// per-superblock accounting purely from the flash array's OOB areas
   /// (the in-RAM mapping is lost on power failure). For each LPN the copy
-  /// with the highest program sequence number wins. Policy-side state
+  /// with the highest program sequence number wins; bad superblocks are
+  /// excluded from the scan (retirement only happens after GC drained
+  /// them, so the newest copy of an LPN never lives in a bad block).
+  /// Returns the number of OOB areas inspected. Policy-side state
   /// (classifier, heuristic tables) is *not* reconstructed — schemes
   /// relearn it, as real devices do after an unclean shutdown.
-  void rebuild_mapping_from_flash();
+  std::uint64_t rebuild_mapping_from_flash();
+
+  /// Full unclean-shutdown mount (docs/RECOVERY.md). Simulates losing all
+  /// RAM state at an arbitrary point — including mid-request and mid-GC —
+  /// and reconstructs everything re-derivable from flash:
+  ///   1. superblocks left open by the cut are closed (their unwritten tail
+  ///      pages stay unused; no meta pages are programmed),
+  ///   2. L2P / validity / per-superblock accounting / victim index are
+  ///      rebuilt from OOB (rebuild_mapping_from_flash),
+  ///   3. the virtual clock restarts at max(write_time of any user page)+1,
+  ///      a lower bound on the pre-crash clock (documented in RECOVERY.md),
+  ///   4. close_time is re-derived per closed superblock (newest page in
+  ///      it), and the free pool is rebuilt from free superblocks,
+  ///   5. the scheme's on_recovery() hook re-derives or resets policy state
+  ///      (PHFTL: meta cache cold start, trainer/threshold safe defaults).
+  /// Cumulative FtlStats are process-lifetime diagnostics and survive.
+  RecoveryReport recover();
+
+  /// True if `sb` suffered a program failure and awaits retirement (the
+  /// block is closed; GC will drain and retire it instead of erasing).
+  bool pending_retire(std::uint64_t sb) const {
+    return pending_retire_[sb] != 0;
+  }
 
   // --- Introspection used by victim policies and tests ---
   std::uint64_t valid_count(std::uint64_t sb) const {
@@ -173,6 +214,10 @@ class FtlBase {
   /// Let the subclass add fields to a user-written page's OOB area
   /// (PHFTL stores the page's new hidden state there, §III-C).
   virtual void fill_user_oob(Lpn /*lpn*/, OobData& /*oob*/) {}
+  /// Called at the end of recover(), after the base mapping/index rebuild,
+  /// so the scheme can re-derive (from flash) or reset (to safe defaults)
+  /// its policy state. Base/2R need nothing; SepBIT and PHFTL override.
+  virtual void on_recovery(const RecoveryReport& /*report*/) {}
 
   // --- Services for subclasses ---
   const Geometry& geom() const { return cfg_.geom; }
@@ -225,6 +270,12 @@ class FtlBase {
   std::vector<std::uint8_t> gc_count_;
   std::vector<SbMeta> sb_meta_;
   std::vector<OpenStream> open_;
+  /// RAM-only flag per superblock: a program failure happened there and the
+  /// block must be retired (not erased) once GC drains it. Wiped by
+  /// recover() — a real FTL would journal its bad-block table; here the
+  /// flash array's kBad states persist and un-retired blocks simply rejoin
+  /// the closed set until they fail again (docs/RECOVERY.md).
+  std::vector<std::uint8_t> pending_retire_;
   std::deque<std::uint64_t> free_pool_;
   /// Closed superblocks bucketed by valid count. Invariant outside gc_once:
   /// indexed(sb) ⇔ flash state(sb) == kClosed, at sb's current valid count.
@@ -247,7 +298,14 @@ class FtlBase {
   obs::Counter* stream_borrows_ctr_ = nullptr;
   obs::Counter* host_reads_ctr_ = nullptr;
   obs::Counter* trims_ctr_ = nullptr;
+  obs::Counter* program_fail_ctr_ = nullptr;
+  obs::Counter* erase_fail_ctr_ = nullptr;
+  obs::Counter* retired_ctr_ = nullptr;
+  obs::Counter* recovery_mounts_ctr_ = nullptr;
+  obs::Counter* recovery_oob_scans_ctr_ = nullptr;
+  obs::Counter* recovery_rebuild_ns_ctr_ = nullptr;
   obs::Histogram* victim_valid_hist_ = nullptr;
+  obs::Gauge* bad_blocks_gauge_ = nullptr;
   obs::Gauge* wa_gauge_ = nullptr;
   obs::Gauge* free_sb_gauge_ = nullptr;
   obs::Gauge* closed_sb_gauge_ = nullptr;

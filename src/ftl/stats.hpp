@@ -16,6 +16,15 @@ struct FtlStats {
   std::uint64_t gc_invocations = 0;
   /// GC appends redirected to another stream under free-pool pressure.
   std::uint64_t stream_borrows = 0;
+  /// Program operations that aborted (page consumed, data retried
+  /// elsewhere). Not part of flash_writes(): only successful programs store
+  /// data; the wasted pages vanish with their block at retirement.
+  std::uint64_t program_failures = 0;
+  /// Erase operations that failed (block went bad in place).
+  std::uint64_t erase_failures = 0;
+  /// Superblocks retired after a program failure (drained by GC, then
+  /// taken out of service without an erase).
+  std::uint64_t blocks_retired = 0;
 
   /// Total flash page programs (F).
   std::uint64_t flash_writes() const {

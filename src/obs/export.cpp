@@ -217,10 +217,29 @@ void append_chrome_event(std::string& out, const TraceEvent& e) {
              ", \"stream\": " + fmt_num(e.stream) + "}}";
       break;
     case TraceEventType::kFlashErase:
+    case TraceEventType::kEraseFail:
+    case TraceEventType::kBlockRetired:
       out += "{\"name\": \"" + std::string(name) +
              "\", \"cat\": \"flash\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
              fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFlash) +
              ", \"args\": {\"sb\": " + fmt_u64(e.a) + "}}";
+      break;
+    case TraceEventType::kProgramFail:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"flash\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFlash) +
+             ", \"args\": {\"sb\": " + fmt_u64(e.a) +
+             ", \"stream\": " + fmt_num(e.stream) + "}}";
+      break;
+    case TraceEventType::kRecovery:
+      // Complete event on the FTL lane; dur is the measured rebuild time.
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"recovery\", \"ph\": \"X\", \"ts\": " +
+             fmt_u64(e.ts) +
+             ", \"dur\": " + fmt_num(static_cast<double>(e.b) * 1e-3) +
+             ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"oob_scans\": " + fmt_u64(e.a) +
+             ", \"rebuild_ns\": " + fmt_u64(e.b) + "}}";
       break;
   }
 }

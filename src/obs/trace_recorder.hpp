@@ -31,6 +31,10 @@ enum class TraceEventType : std::uint8_t {
   kMetaCacheMiss,    ///< a = meta-page id (MPPN) — charged a flash read
   kFlashProgram,     ///< a = ppn, stream = target stream
   kFlashErase,       ///< a = sb
+  kProgramFail,      ///< a = sb whose page aborted, stream = target stream
+  kEraseFail,        ///< a = sb (block goes bad)
+  kBlockRetired,     ///< a = sb taken out of service after a program failure
+  kRecovery,         ///< a = OOB pages scanned, b = rebuild wall-clock ns
 };
 
 inline const char* trace_event_name(TraceEventType t) {
@@ -44,6 +48,10 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kMetaCacheMiss: return "meta_cache_miss";
     case TraceEventType::kFlashProgram: return "flash_program";
     case TraceEventType::kFlashErase: return "flash_erase";
+    case TraceEventType::kProgramFail: return "program_fail";
+    case TraceEventType::kEraseFail: return "erase_fail";
+    case TraceEventType::kBlockRetired: return "block_retired";
+    case TraceEventType::kRecovery: return "recovery";
   }
   return "?";
 }

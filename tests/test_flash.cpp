@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "flash/fault_injector.hpp"
 #include "flash/flash_array.hpp"
 #include "flash/geometry.hpp"
 
@@ -148,6 +149,110 @@ TEST_F(FlashArrayDeathTest, EraseOfOpenSuperblockAborts) {
 TEST_F(FlashArrayDeathTest, DoubleOpenAborts) {
   flash_.open_superblock(0);
   EXPECT_DEATH(flash_.open_superblock(0), "free");
+}
+
+// --- fault injection (docs/RECOVERY.md "Fault model") ---
+
+TEST_F(FlashArrayTest, ScheduledProgramFailureConsumesPage) {
+  FaultInjector injector;
+  injector.schedule_program_failure(1);  // fail the 2nd program attempt
+  flash_.attach_fault_injector(&injector);
+  flash_.open_superblock(0);
+  const Ppn p0 = flash_.program(0, 10, OobData{});
+  EXPECT_NE(p0, kInvalidPpn);
+  const Ppn p1 = flash_.program(0, 11, OobData{});
+  EXPECT_EQ(p1, kInvalidPpn);
+  // The failed page is consumed: the write pointer advanced past it but it
+  // holds no data, and the next program targets the following offset.
+  EXPECT_EQ(flash_.write_pointer(0), 2u);
+  EXPECT_FALSE(flash_.is_programmed(flash_.geometry().make_ppn(0, 1)));
+  const Ppn p2 = flash_.program(0, 12, OobData{});
+  EXPECT_EQ(flash_.geometry().offset_of(p2), 2u);
+  EXPECT_EQ(flash_.program_failures(), 1u);
+  EXPECT_EQ(injector.program_failures_injected(), 1u);
+  // Only successful programs count.
+  EXPECT_EQ(flash_.total_programs(), 2u);
+}
+
+TEST_F(FlashArrayTest, ScheduledEraseFailureRetiresBlock) {
+  FaultInjector injector;
+  injector.schedule_erase_failure(0);
+  flash_.attach_fault_injector(&injector);
+  flash_.open_superblock(1);
+  flash_.program(1, 5, OobData{});
+  flash_.close_superblock(1);
+  EXPECT_FALSE(flash_.erase_superblock(1));
+  EXPECT_EQ(flash_.state(1), SuperblockState::kBad);
+  EXPECT_TRUE(flash_.is_bad(1));
+  EXPECT_EQ(flash_.erase_failures(), 1u);
+  EXPECT_EQ(flash_.bad_block_count(), 1u);
+  EXPECT_EQ(flash_.total_erases(), 0u);
+}
+
+TEST_F(FlashArrayTest, RetireSuperblockLeavesService) {
+  flash_.open_superblock(2);
+  flash_.program(2, 1, OobData{});
+  flash_.close_superblock(2);
+  flash_.retire_superblock(2);
+  EXPECT_EQ(flash_.state(2), SuperblockState::kBad);
+  EXPECT_EQ(flash_.bad_block_count(), 1u);
+}
+
+TEST_F(FlashArrayTest, FactoryBadBlocksMarkedAtAttach) {
+  FaultInjector::Config fc;
+  fc.factory_bad_blocks = {0, 3, 7};
+  FaultInjector injector(fc);
+  flash_.attach_fault_injector(&injector);
+  EXPECT_EQ(flash_.bad_block_count(), 3u);
+  EXPECT_TRUE(flash_.is_bad(0));
+  EXPECT_TRUE(flash_.is_bad(3));
+  EXPECT_TRUE(flash_.is_bad(7));
+  EXPECT_FALSE(flash_.is_bad(1));
+}
+
+TEST(FaultInjector, ProbabilisticDrawsAreSeedDeterministic) {
+  FaultInjector::Config fc;
+  fc.seed = 42;
+  fc.program_fail_prob = 0.3;
+  FaultInjector a(fc);
+  FaultInjector b(fc);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool fa = a.next_program_fails();
+    EXPECT_EQ(fa, b.next_program_fails()) << "draw " << i;
+    failures += fa ? 1 : 0;
+  }
+  // ~300 expected; a loose band guards the probability plumbing.
+  EXPECT_GT(failures, 200);
+  EXPECT_LT(failures, 400);
+  EXPECT_EQ(a.programs_seen(), 1000u);
+  EXPECT_EQ(a.program_failures_injected(), static_cast<std::uint64_t>(failures));
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverFails) {
+  FaultInjector injector;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.next_program_fails());
+    EXPECT_FALSE(injector.next_erase_fails());
+  }
+}
+
+TEST(FaultInjector, ScheduleIsExactAndOneShot) {
+  FaultInjector injector;
+  injector.schedule_erase_failure(2);
+  injector.schedule_erase_failure(4);
+  std::vector<int> failed;
+  for (int i = 0; i < 8; ++i)
+    if (injector.next_erase_fails()) failed.push_back(i);
+  EXPECT_EQ(failed, (std::vector<int>{2, 4}));
+}
+
+TEST_F(FlashArrayDeathTest, FactoryBadBlockOnUsedSuperblockAborts) {
+  flash_.open_superblock(0);
+  FaultInjector::Config fc;
+  fc.factory_bad_blocks = {0};
+  FaultInjector injector(fc);
+  EXPECT_DEATH(flash_.attach_fault_injector(&injector), "before first use");
 }
 
 }  // namespace

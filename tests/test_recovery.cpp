@@ -1,8 +1,13 @@
-// Mount-time L2P reconstruction from OOB areas (power-loss recovery).
+// Mount-time L2P reconstruction from OOB areas (power-loss recovery), the
+// randomized power-cut property tests, and fault-injection degradation
+// (program-failure retirement, erase failures, factory bad blocks).
+// docs/RECOVERY.md documents the contract these tests enforce.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
+#include "flash/fault_injector.hpp"
 #include "helpers.hpp"
 #include "util/rng.hpp"
 
@@ -14,6 +19,63 @@ using test::small_config;
 using test::small_workload;
 
 class RecoveryTest : public ::testing::TestWithParam<std::string> {};
+
+/// Scheme factory with a lightened PHFTL trainer: the crash-property suite
+/// replays hundreds of workloads, and classifier quality is not under test.
+std::unique_ptr<FtlBase> make_crash_ftl(const std::string& scheme,
+                                        const FtlConfig& cfg) {
+  if (scheme == "PHFTL") {
+    core::PhftlConfig pc = core::default_phftl_config(cfg, /*seed=*/11);
+    pc.trainer.window_pages = 1024;
+    pc.trainer.max_window_samples = 512;
+    pc.trainer.train_per_class = 32;
+    return std::make_unique<core::PhftlFtl>(pc);
+  }
+  return make_ftl(scheme, cfg);
+}
+
+/// Structural invariants that must hold whenever the FTL is quiescent:
+/// validity bitmaps agree with per-superblock counts, and the victim index
+/// holds exactly the closed superblocks at their current valid counts.
+void check_invariants(const FtlBase& ftl) {
+  const Geometry& g = ftl.config().geom;
+  for (std::uint64_t sb = 0; sb < g.num_superblocks(); ++sb) {
+    std::uint64_t bitmap_count = 0;
+    for (std::uint64_t off = 0; off < g.pages_per_superblock(); ++off)
+      bitmap_count += ftl.page_valid(g.make_ppn(sb, off)) ? 1 : 0;
+    ASSERT_EQ(bitmap_count, ftl.valid_count(sb)) << "sb " << sb;
+  }
+  std::set<std::uint64_t> indexed;
+  ftl.visit_closed_by_valid(
+      [&](std::uint64_t bucket_valid, const std::vector<std::uint64_t>& sbs) {
+        for (const std::uint64_t sb : sbs) {
+          indexed.insert(sb);
+          EXPECT_EQ(ftl.valid_count(sb), bucket_valid) << "sb " << sb;
+          EXPECT_EQ(ftl.flash().state(sb), SuperblockState::kClosed)
+              << "sb " << sb;
+        }
+        return true;
+      });
+  std::uint64_t closed = 0;
+  for (std::uint64_t sb = 0; sb < g.num_superblocks(); ++sb)
+    if (ftl.flash().state(sb) == SuperblockState::kClosed) {
+      ++closed;
+      EXPECT_TRUE(indexed.count(sb)) << "closed sb " << sb << " not indexed";
+    }
+  EXPECT_EQ(indexed.size(), closed);
+  // WA accounting sanity: flash programs never undercount host writes.
+  EXPECT_GE(ftl.stats().flash_writes(), ftl.stats().user_writes);
+}
+
+/// Every acknowledged page (written, not since trimmed) must read back its
+/// exact payload.
+void verify_acked(FtlBase& ftl, const std::vector<std::uint8_t>& acked) {
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    if (!acked[lpn]) continue;
+    ASSERT_TRUE(ftl.is_mapped(lpn)) << "acked lpn " << lpn << " lost";
+    ASSERT_EQ(ftl.read_page(lpn), lpn ^ 0x5bd1e995ULL) << "lpn " << lpn;
+  }
+}
 
 TEST_P(RecoveryTest, RebuiltMappingServesIdenticalReads) {
   const FtlConfig cfg = small_config();
@@ -82,6 +144,208 @@ TEST_P(RecoveryTest, TrimmedPagesStayUnmappedOnlyIfNeverRewritten) {
   EXPECT_FALSE(ftl->is_mapped(7));
   ftl->rebuild_mapping_from_flash();
   EXPECT_TRUE(ftl->is_mapped(7));  // resurrected, by design
+}
+
+// --- randomized power-cut property test (docs/RECOVERY.md contract) ---
+//
+// ISSUE acceptance criterion: >= 50 random power-cut points per scheme must
+// recover acknowledged data bit-for-bit, with valid-count and victim-index
+// invariants holding both right after the remount and after resumed traffic.
+TEST_P(RecoveryTest, RandomizedPowerCutsPreserveAcknowledgedData) {
+  const FtlConfig cfg = small_config();
+  constexpr std::uint64_t kCuts = 50;
+  Xoshiro256 cut_rng(0xC0FFEE);
+  for (std::uint64_t c = 0; c < kCuts; ++c) {
+    auto ftl = make_crash_ftl(GetParam(), cfg);
+    const std::uint64_t logical = ftl->logical_pages();
+    const std::uint64_t hot = std::max<std::uint64_t>(logical / 10, 1);
+    // Cuts span cold start through steady-state GC (up to 2 full drives).
+    const std::uint64_t cut = 1 + cut_rng.next_below(logical * 2);
+
+    Xoshiro256 rng(1000 + c);
+    std::vector<std::uint8_t> acked(logical, 0);
+    WriteContext ctx;
+    std::uint64_t pre_vclock = 0;
+    for (std::uint64_t w = 0; w < cut; ++w) {
+      if (rng.next_bool(0.05)) {
+        const Lpn t = rng.next_below(logical);
+        ftl->trim_page(t);
+        acked[t] = 0;
+      }
+      const Lpn lpn =
+          rng.next_bool(0.5) ? rng.next_below(hot) : rng.next_below(logical);
+      ftl->write_page(lpn, ctx);
+      acked[lpn] = 1;
+      ++pre_vclock;
+    }
+
+    const RecoveryReport rep = ftl->recover();
+    ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked))
+        << GetParam() << " cut " << cut;
+    ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl))
+        << GetParam() << " cut " << cut;
+    EXPECT_GT(rep.oob_scans, 0u);
+    EXPECT_GT(rep.mapped_lpns, 0u);
+    // The re-derived clock is a lower bound on host writes issued
+    // (write_time survives GC moves, so stale copies never inflate it).
+    EXPECT_GT(rep.recovered_vclock, 0u);
+    EXPECT_LE(rep.recovered_vclock, pre_vclock + 1);
+
+    // The drive must keep serving traffic after the remount.
+    for (int w = 0; w < 400; ++w) {
+      const Lpn lpn = rng.next_below(logical);
+      ftl->write_page(lpn, ctx);
+      acked[lpn] = 1;
+      ASSERT_EQ(ftl->read_page(lpn), lpn ^ 0x5bd1e995ULL);
+    }
+    ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+    ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+  }
+}
+
+// --- fault-injection degradation (docs/RECOVERY.md "Fault model") ---
+
+/// Fault tests run with extra over-provisioning so permanently retired
+/// superblocks cannot push the drive below its GC headroom.
+FtlConfig fault_config() {
+  FtlConfig cfg = small_config();
+  cfg.op_ratio = 0.20;
+  return cfg;
+}
+
+TEST_P(RecoveryTest, ProgramFailuresRetireBlocksWithoutDataLoss) {
+  FtlConfig cfg = fault_config();
+  FaultInjector::Config fc;
+  // Three scheduled mid-run failures keep retirement deterministic and the
+  // capacity loss bounded (3 of 64 superblocks).
+  FaultInjector injector(fc);
+  injector.schedule_program_failure(500);
+  injector.schedule_program_failure(2500);
+  injector.schedule_program_failure(6000);
+  cfg.fault_injector = &injector;
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+
+  const std::uint64_t logical = ftl->logical_pages();
+  std::vector<std::uint8_t> acked(logical, 0);
+  WriteContext ctx;
+  Xoshiro256 rng(77);
+  for (std::uint64_t w = 0; w < logical * 3; ++w) {
+    const Lpn lpn = rng.next_below(logical);
+    ftl->write_page(lpn, ctx);
+    acked[lpn] = 1;
+  }
+
+  EXPECT_EQ(ftl->stats().program_failures, 3u);
+  // Each failure marks its superblock for retirement; retirement happens
+  // when GC later picks the block, and 3x drive writes force full GC churn.
+  EXPECT_GE(ftl->stats().blocks_retired, 1u);
+  EXPECT_EQ(ftl->flash().bad_block_count(), ftl->stats().blocks_retired);
+  ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+
+  // Retired blocks must survive a remount out of service.
+  ftl->recover();
+  EXPECT_EQ(ftl->flash().bad_block_count(), ftl->stats().blocks_retired);
+  ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+}
+
+TEST_P(RecoveryTest, EraseFailuresShrinkTheDriveGracefully) {
+  FtlConfig cfg = fault_config();
+  FaultInjector::Config fc;
+  FaultInjector injector(fc);
+  injector.schedule_erase_failure(5);
+  injector.schedule_erase_failure(25);
+  cfg.fault_injector = &injector;
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+
+  const std::uint64_t logical = ftl->logical_pages();
+  std::vector<std::uint8_t> acked(logical, 0);
+  WriteContext ctx;
+  Xoshiro256 rng(78);
+  for (std::uint64_t w = 0; w < logical * 3; ++w) {
+    const Lpn lpn = rng.next_below(logical);
+    ftl->write_page(lpn, ctx);
+    acked[lpn] = 1;
+  }
+
+  EXPECT_EQ(ftl->stats().erase_failures, 2u);
+  EXPECT_GE(ftl->flash().bad_block_count(), 2u);
+  ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+}
+
+TEST_P(RecoveryTest, FactoryBadBlocksStayOutOfService) {
+  FtlConfig cfg = fault_config();
+  FaultInjector::Config fc;
+  fc.factory_bad_blocks = {0, 13, 40};
+  FaultInjector injector(fc);
+  cfg.fault_injector = &injector;
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+
+  EXPECT_EQ(ftl->flash().bad_block_count(), 3u);
+  const std::uint64_t logical = ftl->logical_pages();
+  std::vector<std::uint8_t> acked(logical, 0);
+  WriteContext ctx;
+  Xoshiro256 rng(79);
+  for (std::uint64_t w = 0; w < logical * 2; ++w) {
+    const Lpn lpn = rng.next_below(logical);
+    ftl->write_page(lpn, ctx);
+    acked[lpn] = 1;
+  }
+
+  // No live data may ever land in a factory-bad superblock.
+  const Geometry& g = cfg.geom;
+  for (const std::uint64_t sb : {0ULL, 13ULL, 40ULL}) {
+    EXPECT_EQ(ftl->flash().state(sb), SuperblockState::kBad);
+    EXPECT_EQ(ftl->valid_count(sb), 0u);
+    for (std::uint64_t off = 0; off < g.pages_per_superblock(); ++off)
+      EXPECT_FALSE(ftl->page_valid(g.make_ppn(sb, off)));
+  }
+
+  // And recovery must skip them while restoring everything else.
+  ftl->recover();
+  EXPECT_EQ(ftl->flash().bad_block_count(), 3u);
+  ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+}
+
+TEST_P(RecoveryTest, RecoveryAndFaultMetricsAreExported) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  FtlConfig cfg = fault_config();
+  FaultInjector::Config fc;
+  FaultInjector injector(fc);
+  injector.schedule_program_failure(300);
+  cfg.fault_injector = &injector;
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+
+  WriteContext ctx;
+  Xoshiro256 rng(80);
+  for (std::uint64_t w = 0; w < ftl->logical_pages(); ++w)
+    ftl->write_page(rng.next_below(ftl->logical_pages()), ctx);
+  const RecoveryReport rep = ftl->recover();
+  ftl->refresh_observability();
+
+  const auto& reg = ftl->observability().metrics();
+  const auto* mounts = reg.find_counter("recovery.mounts");
+  const auto* scans = reg.find_counter("recovery.oob_scans");
+  const auto* rebuild = reg.find_counter("recovery.rebuild_ns");
+  const auto* pfail = reg.find_counter("flash.program_failures");
+  ASSERT_NE(mounts, nullptr);
+  ASSERT_NE(scans, nullptr);
+  ASSERT_NE(rebuild, nullptr);
+  ASSERT_NE(pfail, nullptr);
+  EXPECT_EQ(mounts->value(), 1u);
+  EXPECT_EQ(scans->value(), rep.oob_scans);
+  EXPECT_EQ(rebuild->value(), rep.rebuild_ns);
+  EXPECT_EQ(pfail->value(), 1u);
+
+  const std::string json = obs::metrics_to_json(ftl->observability());
+  for (const char* name :
+       {"recovery.mounts", "recovery.oob_scans", "recovery.rebuild_ns",
+        "flash.program_failures", "flash.erase_failures",
+        "flash.blocks_retired", "flash.bad_blocks"})
+    EXPECT_NE(json.find(name), std::string::npos) << name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, RecoveryTest,
