@@ -5,16 +5,19 @@
 // FtlBase::recover(), and verifies the recovery contract:
 //   * every page acknowledged (written and not trimmed) before the cut reads
 //     back its exact pre-crash payload,
+//   * every trimmed-and-not-rewritten page stays unmapped after the remount
+//     (the trim journal's durability guarantee — RECOVERY.md "Trim
+//     semantics"),
 //   * per-superblock valid counts match the validity bitmaps,
 //   * the drive keeps serving writes after the remount (and a second
 //     verification passes at end of run).
-// Trimmed-then-crashed pages may legitimately resurrect (the mapping keeps
-// no tombstones — RECOVERY.md "Trim semantics"), so the lab only checks the
-// acknowledged-data guarantee.
 //
 // Optional NAND fault injection stresses the degradation paths at the same
 // time: program failures force block retirements, erase failures shrink the
-// drive, and recovery must still hold.
+// drive, and recovery must still hold. Under heavy fault rates the capacity
+// watermark may sink below the mapped count; the lab issues writes through
+// try_write_page() and treats kEnospc as a clean skip (the page is simply
+// not acknowledged), never as a failure.
 //
 // Usage:
 //   crash_lab [--scheme Base|2R|SepBIT|PHFTL|all] [--cuts N] [--seed S]
@@ -99,6 +102,20 @@ std::vector<WorkloadOp> make_workload(std::uint64_t logical_pages,
   return ops;
 }
 
+/// Verify every trimmed-and-not-rewritten page is still unmapped. Returns
+/// the number of resurrected pages (0 = the trim journal held).
+std::uint64_t verify_trimmed(FtlBase& ftl,
+                             const std::vector<std::uint8_t>& trimmed) {
+  std::uint64_t bad = 0;
+  for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
+    if (!trimmed[lpn] || !ftl.is_mapped(lpn)) continue;
+    if (++bad <= 5)
+      std::fprintf(stderr, "  RESURRECTED trimmed lpn %llu\n",
+                   static_cast<unsigned long long>(lpn));
+  }
+  return bad;
+}
+
 /// Verify every acknowledged page reads back its payload. Returns the
 /// number of violations (0 = contract holds).
 std::uint64_t verify(FtlBase& ftl, const std::vector<std::uint8_t>& acked) {
@@ -128,23 +145,30 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
       make_workload(ftl->logical_pages(), total_writes, workload_seed);
 
   // acked[lpn]: the host got a completion for a write and no later trim.
+  // trimmed[lpn]: the host trimmed a mapped page and never rewrote it.
   std::vector<std::uint8_t> acked(ftl->logical_pages(), 0);
+  std::vector<std::uint8_t> trimmed(ftl->logical_pages(), 0);
   WriteContext ctx;
   std::uint64_t writes_done = 0;
+  std::uint64_t enospc = 0;
   std::size_t resume_at = ops.size();
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const WorkloadOp& op = ops[i];
     switch (op.kind) {
       case WorkloadOp::kWrite:
-        ftl->write_page(op.lpn, ctx);
-        acked[op.lpn] = 1;
+        if (ftl->try_write_page(op.lpn, ctx) == WriteResult::kOk) {
+          acked[op.lpn] = 1;
+          trimmed[op.lpn] = 0;
+        } else {
+          ++enospc;  // clean rejection at the watermark: page stays unacked
+        }
         ++writes_done;
         break;
       case WorkloadOp::kRead:
         ftl->read_page(op.lpn);
         break;
       case WorkloadOp::kTrim:
-        ftl->trim_page(op.lpn);
+        if (ftl->trim_page(op.lpn)) trimmed[op.lpn] = 1;
         acked[op.lpn] = 0;
         break;
     }
@@ -164,6 +188,15 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
                  static_cast<unsigned long long>(lost));
     return false;
   }
+  std::uint64_t resurrected = verify_trimmed(*ftl, trimmed);
+  if (resurrected > 0) {
+    std::fprintf(stderr,
+                 "%s: cut at %llu: %llu trimmed pages resurrected after "
+                 "recovery\n",
+                 scheme.c_str(), static_cast<unsigned long long>(cut),
+                 static_cast<unsigned long long>(resurrected));
+    return false;
+  }
 
   // The drive must keep working: replay the rest of the workload, verify
   // again at the end.
@@ -171,14 +204,18 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
     const WorkloadOp& op = ops[i];
     switch (op.kind) {
       case WorkloadOp::kWrite:
-        ftl->write_page(op.lpn, ctx);
-        acked[op.lpn] = 1;
+        if (ftl->try_write_page(op.lpn, ctx) == WriteResult::kOk) {
+          acked[op.lpn] = 1;
+          trimmed[op.lpn] = 0;
+        } else {
+          ++enospc;
+        }
         break;
       case WorkloadOp::kRead:
         ftl->read_page(op.lpn);
         break;
       case WorkloadOp::kTrim:
-        ftl->trim_page(op.lpn);
+        if (ftl->trim_page(op.lpn)) trimmed[op.lpn] = 1;
         acked[op.lpn] = 0;
         break;
     }
@@ -190,14 +227,25 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
                  static_cast<unsigned long long>(lost));
     return false;
   }
+  resurrected = verify_trimmed(*ftl, trimmed);
+  if (resurrected > 0) {
+    std::fprintf(stderr,
+                 "%s: cut at %llu: %llu trimmed pages resurrected after "
+                 "resume\n",
+                 scheme.c_str(), static_cast<unsigned long long>(cut),
+                 static_cast<unsigned long long>(resurrected));
+    return false;
+  }
 
   std::printf(
-      "  %-6s cut@%-6llu ok  (%llu OOB scans, %llu mapped, %llu open "
-      "closed, %.2f ms)\n",
+      "  %-6s cut@%-6llu ok  (%llu OOB scans, %llu mapped, %llu trim "
+      "records replayed, %llu open closed, %llu ENOSPC, %.2f ms)\n",
       scheme.c_str(), static_cast<unsigned long long>(cut),
       static_cast<unsigned long long>(rep.oob_scans),
       static_cast<unsigned long long>(rep.mapped_lpns),
+      static_cast<unsigned long long>(rep.trim_records_replayed),
       static_cast<unsigned long long>(rep.open_sbs_closed),
+      static_cast<unsigned long long>(enospc),
       static_cast<double>(rep.rebuild_ns) * 1e-6);
   return true;
 }
@@ -264,7 +312,8 @@ int main(int argc, char** argv) {
                             with_faults);
     }
   }
-  std::printf(all_ok ? "\nall cuts recovered: acknowledged data intact\n"
+  std::printf(all_ok ? "\nall cuts recovered: acknowledged data intact, "
+                       "trimmed pages stayed unmapped\n"
                      : "\nFAILURES detected\n");
   return all_ok ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 //                [--trace-out <chrome.json>] [--snapshot-every <pages>]
 //                [--power-cut-at <host write #>] [--recover]
 //                [--program-fail-prob <p>] [--erase-fail-prob <p>]
-//                [--fault-seed <n>]
+//                [--fault-seed <n>] [--trim-fraction <f>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
@@ -21,6 +21,13 @@
 //     the cut. The cut lands mid-request when the index falls inside one.
 //   trace_replay --program-fail-prob 1e-4 --erase-fail-prob 1e-3
 //     (deterministic NAND fault injection; see docs/RECOVERY.md)
+//   trace_replay --trim-fraction 0.1 --power-cut-at 100000 --recover
+//     (override the suite trace's TRIM request fraction; exercises the trim
+//     journal across the cut)
+//
+// Writes are submitted through submit_checked(): if the drive's capacity
+// watermark rejects part of a request (ENOSPC, docs/RECOVERY.md "Capacity
+// watermark"), the replay counts it and moves on rather than aborting.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,7 +60,8 @@ void usage() {
                "                    [--power-cut-at <host write #>] "
                "[--recover]\n"
                "                    [--program-fail-prob <p>] "
-               "[--erase-fail-prob <p>] [--fault-seed <n>]\n");
+               "[--erase-fail-prob <p>] [--fault-seed <n>]\n"
+               "                    [--trim-fraction <f>]\n");
   std::exit(2);
 }
 
@@ -85,6 +93,7 @@ int main(int argc, char** argv) {
   bool do_recover = false;
   FaultInjector::Config fault_cfg;
   bool with_faults = false;
+  double trim_fraction = -1.0;  // < 0: keep the suite trace's own fraction
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +123,8 @@ int main(int argc, char** argv) {
       with_faults = true;
     } else if (arg == "--fault-seed") {
       fault_cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--trim-fraction") {
+      trim_fraction = std::atof(next());
     } else usage();
   }
 
@@ -130,7 +141,8 @@ int main(int argc, char** argv) {
     cfg.geom.blocks_per_die = static_cast<std::uint32_t>(
         (static_cast<double>(csv_pages) / 0.93 / 128.0) + 1.0);
   } else {
-    const auto& spec = suite_spec(trace_id);
+    SuiteTraceSpec spec = suite_spec(trace_id);
+    if (trim_fraction >= 0.0) spec.params.trim_request_fraction = trim_fraction;
     cfg = suite_ftl_config(spec);
     trace = make_suite_trace(spec, drive_writes);
   }
@@ -167,6 +179,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(trace.total_write_pages()),
               ftl->name().c_str());
   std::uint64_t written = 0;
+  std::uint64_t enospc_requests = 0;
   bool cut_done = false;
   for (const auto& req : trace.ops) {
     if (!cut_done && power_cut_at != kNoCut && req.op == OpType::kWrite &&
@@ -177,8 +190,9 @@ int main(int argc, char** argv) {
       if (keep > 0) {
         HostRequest pre = req;
         pre.num_pages = keep;
-        ftl->submit(pre);
-        written += keep;
+        const SubmitResult r = ftl->submit_checked(pre);
+        if (r.status == WriteResult::kEnospc) ++enospc_requests;
+        written += r.pages_completed;
       }
       cut_done = true;
       std::printf("\npower cut after %llu acknowledged host writes\n",
@@ -186,10 +200,13 @@ int main(int argc, char** argv) {
       if (!do_recover) break;  // inspect the dead drive's statistics
       const RecoveryReport rep = ftl->recover();
       std::printf(
-          "recovered: %llu OOB scans, %llu mapped LPNs, %llu open "
-          "superblocks closed, vclock %llu, %.3f ms\n\n",
+          "recovered: %llu OOB scans, %llu mapped LPNs, %llu trim records "
+          "replayed (%llu tombstoned), %llu open superblocks closed, "
+          "vclock %llu, %.3f ms\n\n",
           static_cast<unsigned long long>(rep.oob_scans),
           static_cast<unsigned long long>(rep.mapped_lpns),
+          static_cast<unsigned long long>(rep.trim_records_replayed),
+          static_cast<unsigned long long>(rep.trim_tombstones),
           static_cast<unsigned long long>(rep.open_sbs_closed),
           static_cast<unsigned long long>(rep.recovered_vclock),
           static_cast<double>(rep.rebuild_ns) * 1e-6);
@@ -197,13 +214,15 @@ int main(int argc, char** argv) {
         HostRequest post = req;
         post.start_lpn += keep;
         post.num_pages -= keep;
-        ftl->submit(post);
-        written += post.num_pages;
+        const SubmitResult r = ftl->submit_checked(post);
+        if (r.status == WriteResult::kEnospc) ++enospc_requests;
+        written += r.pages_completed;
       }
       continue;
     }
-    ftl->submit(req);
-    if (req.op == OpType::kWrite) written += req.num_pages;
+    const SubmitResult r = ftl->submit_checked(req);
+    if (r.status == WriteResult::kEnospc) ++enospc_requests;
+    if (req.op == OpType::kWrite) written += r.pages_completed;
   }
 
   const FtlStats& s = ftl->stats();
@@ -215,7 +234,9 @@ int main(int argc, char** argv) {
       "  meta-page writes      %llu\n"
       "  erases                %llu (max wear %llu)\n"
       "  GC invocations        %llu\n"
-      "  host reads            %llu\n",
+      "  host reads            %llu\n"
+      "  effective trims       %llu pages\n"
+      "  trim journal          %llu page writes, %llu compactions\n",
       s.write_amplification() * 100.0,
       static_cast<unsigned long long>(s.user_writes),
       static_cast<unsigned long long>(s.gc_writes),
@@ -223,7 +244,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.erases),
       static_cast<unsigned long long>(ftl->flash().max_erase_count()),
       static_cast<unsigned long long>(s.gc_invocations),
-      static_cast<unsigned long long>(s.host_reads));
+      static_cast<unsigned long long>(s.host_reads),
+      static_cast<unsigned long long>(s.trims),
+      static_cast<unsigned long long>(s.journal_writes),
+      static_cast<unsigned long long>(s.trim_journal_compactions));
+  if (enospc_requests > 0 || s.enospc_rejections > 0) {
+    std::printf(
+        "  ENOSPC rejections     %llu requests truncated (%llu page "
+        "rejections)\n",
+        static_cast<unsigned long long>(enospc_requests),
+        static_cast<unsigned long long>(s.enospc_rejections));
+  }
   if (with_faults || s.program_failures > 0 || s.erase_failures > 0) {
     std::printf(
         "  program failures      %llu (pages consumed, data retried)\n"

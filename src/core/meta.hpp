@@ -1,9 +1,9 @@
 // ML metadata management: flash data layout and the RAM metadata cache
 // (paper §III-C, Fig. 4).
 //
-// Every data page carries 36 B of ML metadata: the page's last-write
-// timestamp (4 B, for lifetime computation) and its cached GRU hidden state
-// (32 B int8). Metadata lives in *meta pages* at the tail of each
+// Every data page carries 40 B of ML metadata: the page's last-write
+// timestamp (8 B, for lifetime computation — wide enough that the virtual
+// clock never wraps) and its cached GRU hidden state (32 B int8). Metadata lives in *meta pages* at the tail of each
 // superblock, one entry per data page in superblock order, so the meta-page
 // address (MPPN) is computable from a data page's offset. RAM holds only:
 //   * per-open-superblock write buffers (entries accumulate in RAM until the
@@ -27,14 +27,14 @@
 
 namespace phftl::core {
 
-inline constexpr std::uint32_t kNeverWritten = 0xFFFFFFFFu;
+inline constexpr std::uint64_t kNeverWritten = ~0ULL;
 
-/// One per-page metadata record: 4 B timestamp + 32 B hidden state = 36 B.
+/// One per-page metadata record: 8 B timestamp + 32 B hidden state = 40 B.
 struct MetaEntry {
-  std::uint32_t write_time = kNeverWritten;
+  std::uint64_t write_time = kNeverWritten;
   std::array<std::int8_t, 32> hidden{};
 };
-inline constexpr std::size_t kMetaEntryBytes = 36;
+inline constexpr std::size_t kMetaEntryBytes = 40;
 
 class MetaStore {
  public:

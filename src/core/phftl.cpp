@@ -128,10 +128,14 @@ MetaEntry PhftlFtl::fetch_metadata(Lpn lpn) {
 std::uint32_t PhftlFtl::classify_user_write(Lpn lpn, const WriteContext& ctx) {
   // 1. Retrieve ML metadata (cached hidden state + last write time).
   const MetaEntry entry = fetch_metadata(lpn);
-  const std::uint32_t prev_lifetime =
+  const std::uint64_t prev_lifetime64 =
       entry.write_time == kNeverWritten
-          ? 0xFFFFFFFFu  // never written: "infinite" previous lifetime
-          : static_cast<std::uint32_t>(ctx.now - entry.write_time);
+          ? ~0ULL  // never written: "infinite" previous lifetime
+          : ctx.now - entry.write_time;
+  // The feature encoding saturates at 32 bits (log-scaled afterwards, so
+  // the clamp loses nothing the model could use).
+  const std::uint32_t prev_lifetime = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(prev_lifetime64, 0xFFFFFFFFu));
 
   // 2. Build features; feed the trainer's profiling tap.
   const RawFeatures raw = tracker_.make_features(lpn, prev_lifetime, ctx);
@@ -147,7 +151,7 @@ std::uint32_t PhftlFtl::classify_user_write(Lpn lpn, const WriteContext& ctx) {
   }
 
   // 4. Predict with one incremental GRU step from the cached hidden state.
-  scratch_entry_.write_time = static_cast<std::uint32_t>(ctx.now);
+  scratch_entry_.write_time = ctx.now;
   scratch_entry_.hidden = entry.hidden;
   if (!trainer_.model_deployed()) {
     // Before the first deployment all user writes share the long stream.

@@ -8,7 +8,7 @@
 //     writes are separated by victim count into streams 2..6 (GC'd once,
 //     twice, ..., five-plus times — read-only data converges to dedicated
 //     superblocks, §III-A);
-//   * ML metadata (36 B/page) lives in meta pages at superblock tails with
+//   * ML metadata (40 B/page) lives in meta pages at superblock tails with
 //     a 1 % RAM cache (§III-C); each page's OOB carries a copy for GC;
 //   * the host-side Model Trainer re-picks the labeling threshold
 //     (Algorithm 1) and retrains/deploys the model every write window;

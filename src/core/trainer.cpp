@@ -80,7 +80,7 @@ void ModelTrainer::observe_page_write(Lpn lpn, const RawFeatures& raw,
   h.ring[h.head] = raw;
   h.head = static_cast<std::uint8_t>((h.head + 1) % 16);
   if (h.count < 16) ++h.count;
-  h.last_write_time = static_cast<std::uint32_t>(now);
+  h.last_write_time = now;
   ++pages_in_window_;
 }
 

@@ -97,7 +97,7 @@ class ModelTrainer {
 
  private:
   struct History {
-    std::uint32_t last_write_time = kNeverWritten;
+    std::uint64_t last_write_time = kNeverWritten;
     std::uint8_t count = 0;  ///< valid entries in ring
     std::uint8_t head = 0;   ///< next slot to overwrite
     std::array<RawFeatures, 16> ring{};

@@ -59,6 +59,7 @@ bool FlashArray::erase_superblock(std::uint64_t sb) {
   const std::uint64_t n = geom_.pages_per_superblock();
   std::fill(programmed_.begin() + static_cast<std::ptrdiff_t>(base),
             programmed_.begin() + static_cast<std::ptrdiff_t>(base + n), 0);
+  blobs_.erase(blobs_.lower_bound(base), blobs_.lower_bound(base + n));
   sbs_[sb].state = SuperblockState::kFree;
   sbs_[sb].next_offset = 0;
   ++sbs_[sb].erase_count;
@@ -100,6 +101,16 @@ Ppn FlashArray::program(std::uint64_t sb, std::uint64_t payload,
   return ppn;
 }
 
+Ppn FlashArray::program_blob(std::uint64_t sb, const OobData& oob,
+                             std::vector<std::uint64_t> blob) {
+  PHFTL_CHECK_MSG(blob.size() * 8 <= geom_.page_size,
+                  "blob exceeds the page data area");
+  const Ppn ppn = program(sb, /*payload=*/0, oob);
+  if (ppn == kInvalidPpn) return kInvalidPpn;  // page consumed, blob lost
+  blobs_[ppn] = std::move(blob);
+  return ppn;
+}
+
 std::uint64_t FlashArray::read(Ppn ppn) const {
   PHFTL_CHECK(ppn < payload_.size());
   PHFTL_CHECK_MSG(programmed_[ppn], "read of unprogrammed page");
@@ -111,6 +122,14 @@ const OobData& FlashArray::read_oob(Ppn ppn) const {
   PHFTL_CHECK(ppn < oob_.size());
   PHFTL_CHECK_MSG(programmed_[ppn], "OOB read of unprogrammed page");
   return oob_[ppn];
+}
+
+const std::vector<std::uint64_t>& FlashArray::read_blob(Ppn ppn) const {
+  PHFTL_CHECK(ppn < oob_.size());
+  PHFTL_CHECK_MSG(programmed_[ppn], "blob read of unprogrammed page");
+  static const std::vector<std::uint64_t> kEmpty;
+  const auto it = blobs_.find(ppn);
+  return it == blobs_.end() ? kEmpty : it->second;
 }
 
 std::uint64_t FlashArray::max_erase_count() const {

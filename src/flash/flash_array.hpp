@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "flash/geometry.hpp"
@@ -30,19 +31,31 @@ namespace phftl {
 
 class FaultInjector;
 
+/// What a programmed page holds. User pages carry a logical mapping; meta
+/// pages (superblock-tail ML metadata, lpn == kInvalidLpn) and trim-journal
+/// pages (range-encoded discard records) carry none and are skipped by the
+/// mount-time L2P rebuild.
+enum class PageKind : std::uint8_t { kUser = 0, kMeta = 1, kTrimJournal = 2 };
+
 /// Per-page out-of-band area. Sized to hold the PHFTL per-page metadata
-/// copy (LPN + 4B write timestamp + 32B hidden state, §III-C) with room to
+/// copy (LPN + 8B write timestamp + 32B hidden state, §III-C) with room to
 /// spare, matching real NAND OOB capacities (paper Fig. 4 shows 256 B).
 struct OobData {
   Lpn lpn = kInvalidLpn;
-  std::uint32_t write_time = 0;            ///< virtual-clock timestamp
+  std::uint64_t write_time = 0;            ///< virtual-clock timestamp
   std::uint8_t gc_count = 0;               ///< times migrated by GC
+  PageKind kind = PageKind::kUser;
   std::array<std::int8_t, 32> hidden{};    ///< cached GRU hidden state copy
   /// Global program sequence number, stamped by the flash array at program
   /// time. Mount-time L2P reconstruction uses it to order versions of the
   /// same LPN (GC copies preserve write_time, so the timestamp alone cannot
   /// tell the live copy from the stale original).
   std::uint64_t program_seq = 0;
+  /// Trim-journal pages only: program-sequence cutoff of the records in
+  /// this page. A journaled trim tombstones an LPN iff the LPN's newest
+  /// flash copy has program_seq <= this cutoff (a rewrite after the trim
+  /// necessarily programmed with a higher sequence).
+  std::uint64_t trim_seq = 0;
 };
 
 enum class SuperblockState : std::uint8_t { kFree, kOpen, kClosed, kBad };
@@ -103,11 +116,25 @@ class FlashArray {
   /// the data elsewhere and retire the block.
   Ppn program(std::uint64_t sb, std::uint64_t payload, const OobData& oob);
 
+  /// Program a page whose 16 KB data area holds a structured blob instead
+  /// of the usual 64-bit integrity payload (trim-journal record pages).
+  /// The blob models the page's data area: at 8 B per element it may hold
+  /// at most page_size/8 elements. Same failure semantics as program().
+  Ppn program_blob(std::uint64_t sb, const OobData& oob,
+                   std::vector<std::uint64_t> blob);
+
   /// Read a programmed page's payload.
   std::uint64_t read(Ppn ppn) const;
   /// Read a programmed page's OOB area.
   const OobData& read_oob(Ppn ppn) const;
+  /// Read a programmed page's data-area blob (empty for ordinary pages).
+  const std::vector<std::uint64_t>& read_blob(Ppn ppn) const;
   bool is_programmed(Ppn ppn) const { return programmed_[ppn] != 0; }
+
+  /// Highest program sequence number stamped so far (0 = nothing
+  /// programmed). The trim journal snapshots this as each record page's
+  /// tombstone cutoff.
+  std::uint64_t program_seq() const { return program_seq_; }
 
   // --- Counters ---
   std::uint64_t total_programs() const { return programs_; }
@@ -133,6 +160,9 @@ class FlashArray {
   std::vector<SbInfo> sbs_;
   std::vector<std::uint64_t> payload_;
   std::vector<OobData> oob_;
+  /// Sparse data-area blobs (trim-journal pages only); erased with the
+  /// superblock like any page content.
+  std::map<Ppn, std::vector<std::uint64_t>> blobs_;
   std::vector<std::uint8_t> programmed_;
   FaultInjector* injector_ = nullptr;
   mutable std::uint64_t reads_ = 0;

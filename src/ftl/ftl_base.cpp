@@ -21,7 +21,9 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
       gc_count_(cfg.geom.total_pages(), 0),
       sb_meta_(cfg.geom.num_superblocks()),
       open_(num_streams),
-      pending_retire_(cfg.geom.num_superblocks(), 0) {
+      pending_retire_(cfg.geom.num_superblocks(), 0),
+      is_journal_sb_(cfg.geom.num_superblocks(), 0),
+      tombstone_(logical_pages_, 0) {
   PHFTL_CHECK_MSG(num_streams_ >= 1, "at least one stream required");
   // Attach the injector before building the free pool: factory bad blocks
   // are marked at attach time and must never enter circulation.
@@ -50,6 +52,8 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
     if (!flash_.is_bad(sb)) free_pool_.push_back(sb);
   victim_index_.reset(cfg.geom.num_superblocks(),
                       cfg.geom.pages_per_superblock());
+  journal_compact_threshold_ =
+      std::max<std::uint64_t>(cfg.geom.pages_per_superblock() / 2, 2);
   register_ftl_metrics();
 }
 
@@ -85,7 +89,27 @@ void FtlBase::register_ftl_metrics() {
                  "under free-pool pressure");
   host_reads_ctr_ =
       &m.counter("ftl.host_reads", "pages", "mapped host pages read");
-  trims_ctr_ = &m.counter("ftl.trims", "pages", "logical pages discarded");
+  trims_ctr_ = &m.counter("ftl.trims", "pages",
+                          "mapped logical pages discarded (effective trims; "
+                          "trims of unmapped pages are no-ops)");
+  journal_appends_ctr_ =
+      &m.counter("ftl.trim_journal.appends", "pages",
+                 "trim-journal record pages programmed (host trims + "
+                 "compaction rewrites)");
+  journal_records_ctr_ = &m.counter("ftl.trim_journal.records", "records",
+                                    "trim range records written to the "
+                                    "journal");
+  journal_compactions_ctr_ =
+      &m.counter("ftl.trim_journal.compactions", "compactions",
+                 "journal compactions (tombstones rewritten densely, old "
+                 "record superblocks reclaimed)");
+  journal_replayed_ctr_ =
+      &m.counter("ftl.trim_journal.replayed_tombstones", "pages",
+                 "resurrected mappings unmapped again by mount-time journal "
+                 "replay");
+  enospc_ctr_ = &m.counter("ftl.enospc_rejections", "pages",
+                           "host writes rejected at the capacity watermark "
+                           "(ENOSPC)");
   program_fail_ctr_ =
       &m.counter("flash.program_failures", "pages",
                  "program operations that aborted (page consumed, data "
@@ -125,8 +149,23 @@ void FtlBase::register_ftl_metrics() {
       &m.gauge("ftl.free_superblocks", "superblocks", "free-pool size");
   closed_sb_gauge_ = &m.gauge("ftl.closed_superblocks", "superblocks",
                               "closed superblocks (GC candidates)");
+  pending_retire_gauge_ =
+      &m.gauge("ftl.pending_retire_superblocks", "superblocks",
+               "closed superblocks awaiting retirement after a program "
+               "failure (drained by GC, then taken out of service)");
   vclock_gauge_ = &m.gauge("ftl.virtual_clock", "pages",
                            "host pages written (the paper's lifetime clock)");
+  journal_pages_gauge_ = &m.gauge("ftl.trim_journal.pages", "pages",
+                                  "record pages live in the trim journal");
+  journal_sbs_gauge_ =
+      &m.gauge("ftl.trim_journal.superblocks", "superblocks",
+               "superblocks currently held by the trim journal");
+  watermark_gauge_ =
+      &m.gauge("ftl.capacity_watermark_pages", "pages",
+               "host-visible capacity under the current physical reserve "
+               "(writes past it are rejected with ENOSPC)");
+  mapped_gauge_ =
+      &m.gauge("ftl.mapped_pages", "pages", "logical pages currently mapped");
 }
 
 void FtlBase::refresh_observability() {
@@ -134,23 +173,57 @@ void FtlBase::refresh_observability() {
   wa_gauge_->set(stats_.write_amplification());
   free_sb_gauge_->set(static_cast<double>(free_pool_.size()));
   closed_sb_gauge_->set(static_cast<double>(victim_index_.size()));
+  pending_retire_gauge_->set(static_cast<double>(pending_retire_count_));
   vclock_gauge_->set(static_cast<double>(virtual_clock_));
+  journal_pages_gauge_->set(static_cast<double>(journal_pages_used_));
+  journal_sbs_gauge_->set(static_cast<double>(journal_sbs_.size()));
+  watermark_gauge_->set(static_cast<double>(capacity_watermark_pages()));
+  mapped_gauge_->set(static_cast<double>(mapped_count_));
+}
+
+std::uint64_t FtlBase::capacity_watermark_pages() const {
+  // Physical reserve, in superblocks: blocks out of service, the GC
+  // free-pool target, and the trim journal (one superblock is always
+  // reserved for it — compaction needs somewhere to rewrite records even
+  // before the first trim).
+  const std::uint64_t reserve =
+      gc_trigger_count_ + flash_.bad_block_count() +
+      std::max<std::uint64_t>(journal_sbs_.size(), 1);
+  const std::uint64_t total = geom().num_superblocks();
+  if (reserve >= total) return 0;
+  return (total - reserve) * data_capacity(0);
+}
+
+void FtlBase::seed_virtual_clock(std::uint64_t v) {
+  PHFTL_CHECK_MSG(v >= virtual_clock_,
+                  "seed_virtual_clock cannot move the clock backwards");
+  virtual_clock_ = v;
 }
 
 void FtlBase::submit(const HostRequest& req) {
+  const SubmitResult res = submit_checked(req);
+  PHFTL_CHECK_MSG(res.status == WriteResult::kOk,
+                  "host write rejected at the capacity watermark (ENOSPC); "
+                  "use submit_checked() to handle it");
+}
+
+SubmitResult FtlBase::submit_checked(const HostRequest& req) {
   PHFTL_CHECK(req.num_pages > 0);
   PHFTL_CHECK_MSG(req.start_lpn + req.num_pages <= logical_pages_,
                   "request beyond logical capacity");
   on_request(req);
+  SubmitResult res;
   if (req.op == OpType::kRead) {
     for (std::uint32_t i = 0; i < req.num_pages; ++i)
       read_page(req.start_lpn + i);
-    return;
+    res.pages_completed = req.num_pages;
+    return res;
   }
   if (req.op == OpType::kTrim) {
-    for (std::uint32_t i = 0; i < req.num_pages; ++i)
-      trim_page(req.start_lpn + i);
-    return;
+    // One coalesced journal flush per request (not per page).
+    trim_range(req.start_lpn, req.num_pages);
+    res.pages_completed = req.num_pages;
+    return res;
   }
   WriteContext ctx;
   ctx.timestamp_us = req.timestamp_us;
@@ -158,13 +231,49 @@ void FtlBase::submit(const HostRequest& req) {
   ctx.is_sequential = (req.start_lpn == prev_req_end_);
   for (std::uint32_t i = 0; i < req.num_pages; ++i) {
     ctx.now = virtual_clock_;
-    write_page(req.start_lpn + i, ctx);
+    if (write_page_impl(req.start_lpn + i, ctx, /*checked=*/true) ==
+        WriteResult::kEnospc) {
+      res.status = WriteResult::kEnospc;
+      res.pages_completed = i;
+      prev_req_end_ = kInvalidLpn;  // the request did not complete
+      return res;
+    }
   }
   prev_req_end_ = req.start_lpn + req.num_pages;
+  res.pages_completed = req.num_pages;
+  return res;
 }
 
-void FtlBase::write_page(Lpn lpn, const WriteContext& ctx_in) {
+void FtlBase::write_page(Lpn lpn, const WriteContext& ctx) {
+  write_page_impl(lpn, ctx, /*checked=*/false);
+}
+
+WriteResult FtlBase::try_write_page(Lpn lpn, const WriteContext& ctx) {
+  return write_page_impl(lpn, ctx, /*checked=*/true);
+}
+
+WriteResult FtlBase::write_page_impl(Lpn lpn, const WriteContext& ctx_in,
+                                     bool checked) {
   PHFTL_CHECK(lpn < logical_pages_);
+
+  // Admission control, before any state changes or policy hooks: accepting
+  // a page that maps a *new* LPN past the watermark could leave GC unable
+  // to reach its free-superblock target. Overwrites of already-mapped LPNs
+  // don't grow the mapped set and stay allowed until the watermark itself
+  // sinks below the mapped count (lost blocks) — then the drive is
+  // effectively read-only until the host trims.
+  const bool new_mapping = l2p_[lpn] == kInvalidPpn;
+  if (mapped_count_ + (new_mapping ? 1 : 0) > capacity_watermark_pages()) {
+    PHFTL_CHECK_MSG(checked,
+                    "host write rejected at the capacity watermark (ENOSPC); "
+                    "use try_write_page()/submit_checked() to handle it");
+    ++stats_.enospc_rejections;
+    enospc_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kEnospc, virtual_clock_, lpn,
+                        mapped_count_);
+    return WriteResult::kEnospc;
+  }
+
   WriteContext ctx = ctx_in;
   ctx.now = virtual_clock_;
 
@@ -178,11 +287,17 @@ void FtlBase::write_page(Lpn lpn, const WriteContext& ctx_in) {
 
   OobData oob;
   oob.lpn = lpn;
-  oob.write_time = static_cast<std::uint32_t>(virtual_clock_);
+  oob.write_time = virtual_clock_;
   fill_user_oob(lpn, oob);
   const Ppn ppn = append(stream, lpn, /*payload=*/lpn ^ 0x5bd1e995ULL, oob);
   l2p_[lpn] = ppn;
   gc_count_[ppn] = 0;
+  if (new_mapping) ++mapped_count_;
+  if (tombstone_[lpn]) {  // rewrite supersedes any journaled trim
+    tombstone_[lpn] = 0;
+    PHFTL_CHECK(live_tombstones_ > 0);
+    --live_tombstones_;
+  }
 
   ++stats_.user_writes;
   stream_host_writes_[stream]->inc();
@@ -190,6 +305,7 @@ void FtlBase::write_page(Lpn lpn, const WriteContext& ctx_in) {
   on_host_write_complete(lpn, ppn, ctx);
   maybe_gc();
   obs_.tick(virtual_clock_);
+  return WriteResult::kOk;
 }
 
 std::uint64_t FtlBase::read_page(Lpn lpn) {
@@ -201,11 +317,231 @@ std::uint64_t FtlBase::read_page(Lpn lpn) {
   return flash_.read(l2p_[lpn]);
 }
 
-void FtlBase::trim_page(Lpn lpn) {
+bool FtlBase::trim_page(Lpn lpn) {
   PHFTL_CHECK(lpn < logical_pages_);
-  invalidate(lpn);
+  return trim_range(lpn, 1) > 0;
+}
+
+std::uint64_t FtlBase::trim_range(Lpn start, std::uint64_t n) {
+  PHFTL_CHECK(start + n <= logical_pages_);
+  // Unmap in RAM first, collecting the *effective* runs (pages that were
+  // actually mapped); already-unmapped pages are no-ops and neither counted
+  // nor journaled. The loop is sequential, so each run is contiguous.
+  std::vector<std::uint64_t> pairs;  // (start, len) range records
+  Lpn run_start = 0;
+  std::uint64_t run_len = 0;
+  std::uint64_t effective = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Lpn lpn = start + i;
+    if (l2p_[lpn] == kInvalidPpn) {
+      if (run_len > 0) {
+        pairs.push_back(run_start);
+        pairs.push_back(run_len);
+        run_len = 0;
+      }
+      continue;
+    }
+    invalidate(lpn);
+    l2p_[lpn] = kInvalidPpn;
+    PHFTL_CHECK(mapped_count_ > 0);
+    --mapped_count_;
+    if (!tombstone_[lpn]) {
+      tombstone_[lpn] = 1;
+      ++live_tombstones_;
+    }
+    ++stats_.trims;
+    trims_ctr_->inc();
+    ++effective;
+    if (run_len == 0) run_start = lpn;
+    ++run_len;
+  }
+  if (run_len > 0) {
+    pairs.push_back(run_start);
+    pairs.push_back(run_len);
+  }
+  // Persist the trim before acknowledging it: recovery replays these
+  // records after the OOB rebuild so stale copies cannot resurrect.
+  if (!pairs.empty()) append_journal_records(pairs);
+  maybe_gc();
+  obs_.tick(virtual_clock_);
+  return effective;
+}
+
+void FtlBase::append_journal_records(const std::vector<std::uint64_t>& pairs) {
+  // 16 bytes per (start, len) record; chunk to what one page data area holds.
+  const std::uint64_t max_u64s =
+      std::max<std::uint64_t>(geom().page_size / 16, 1) * 2;
+  for (std::size_t i = 0; i < pairs.size(); i += max_u64s) {
+    const std::size_t end = std::min<std::size_t>(pairs.size(), i + max_u64s);
+    append_journal_page(std::vector<std::uint64_t>(
+        pairs.begin() + static_cast<std::ptrdiff_t>(i),
+        pairs.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  if (journal_pages_used_ >= journal_compact_threshold_ && !in_compaction_)
+    compact_trim_journal();
+}
+
+void FtlBase::append_journal_page(std::vector<std::uint64_t> chunk) {
+  PHFTL_CHECK(!chunk.empty());
+  const std::uint64_t records = chunk.size() / 2;
+  // Program failures restart the loop like append(): the failing journal
+  // superblock is closed and marked pending-retire (compaction, not GC,
+  // reclaims journal blocks) and the record retries on a fresh superblock.
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    PHFTL_CHECK_MSG(attempt < 64, "journal program retry limit exceeded");
+    if (journal_sb_ == OpenStream::kNoSb) {
+      if (free_pool_.empty()) maybe_gc();
+      journal_sb_ = allocate_superblock(/*stream=*/0);
+      is_journal_sb_[journal_sb_] = 1;
+      journal_sbs_.push_back(journal_sb_);
+      obs_.trace().record(obs::TraceEventType::kSuperblockOpen, virtual_clock_,
+                          journal_sb_, 0, 0);
+    }
+    OobData oob;  // journal pages carry no logical mapping (lpn stays ~0)
+    oob.kind = PageKind::kTrimJournal;
+    oob.write_time = virtual_clock_;
+    // Tombstone cutoff: every data copy of a trimmed LPN existing at this
+    // moment has program_seq <= this value; any rewrite lands above it.
+    oob.trim_seq = flash_.program_seq();
+    const Ppn ppn = flash_.program_blob(journal_sb_, oob, chunk);
+    if (ppn == kInvalidPpn) {
+      ++stats_.program_failures;
+      program_fail_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kProgramFail, virtual_clock_,
+                          journal_sb_, 0, 0);
+      flash_.close_superblock(journal_sb_);
+      sb_meta_[journal_sb_].close_time = virtual_clock_;
+      if (!pending_retire_[journal_sb_]) {
+        pending_retire_[journal_sb_] = 1;
+        ++pending_retire_count_;
+      }
+      obs_.trace().record(obs::TraceEventType::kSuperblockClose,
+                          virtual_clock_, journal_sb_, 0, 0);
+      journal_sb_ = OpenStream::kNoSb;
+      continue;
+    }
+    ++stats_.journal_writes;
+    ++journal_pages_used_;
+    journal_appends_ctr_->inc();
+    journal_records_ctr_->add(records);
+    obs_.trace().record(obs::TraceEventType::kTrimJournalAppend,
+                        virtual_clock_, ppn, records);
+    obs_.trace().record(obs::TraceEventType::kFlashProgram, virtual_clock_,
+                        ppn, 0, 0);
+    if (flash_.write_pointer(journal_sb_) >= geom().pages_per_superblock()) {
+      // Journal superblocks never enter the victim index: GC must not erase
+      // records that are still the only durable copy of a trim.
+      flash_.close_superblock(journal_sb_);
+      sb_meta_[journal_sb_].close_time = virtual_clock_;
+      obs_.trace().record(obs::TraceEventType::kSuperblockClose,
+                          virtual_clock_, journal_sb_, 0, 0);
+      journal_sb_ = OpenStream::kNoSb;
+    }
+    return;
+  }
+}
+
+void FtlBase::compact_trim_journal() {
+  PHFTL_CHECK(!in_compaction_);
+  in_compaction_ = true;
+  // Snapshot and detach the current journal extent. New record pages below
+  // go into a fresh superblock — write-new-before-erase-old, so a power cut
+  // anywhere in here leaves at least one durable copy of every tombstone
+  // (replay is idempotent, duplicates are harmless).
+  std::vector<std::uint64_t> old_sbs;
+  old_sbs.swap(journal_sbs_);
+  if (journal_sb_ != OpenStream::kNoSb) {
+    flash_.close_superblock(journal_sb_);
+    sb_meta_[journal_sb_].close_time = virtual_clock_;
+    obs_.trace().record(obs::TraceEventType::kSuperblockClose, virtual_clock_,
+                        journal_sb_, 0, 0);
+    journal_sb_ = OpenStream::kNoSb;
+  }
+  journal_pages_used_ = 0;
+
+  // Rewrite the live tombstone set densely (coalesced runs, full pages).
+  if (live_tombstones_ > 0) {
+    std::vector<std::uint64_t> pairs;
+    Lpn run_start = 0;
+    std::uint64_t run_len = 0;
+    for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+      if (!tombstone_[lpn]) {
+        if (run_len > 0) {
+          pairs.push_back(run_start);
+          pairs.push_back(run_len);
+          run_len = 0;
+        }
+        continue;
+      }
+      if (run_len == 0) run_start = lpn;
+      ++run_len;
+    }
+    if (run_len > 0) {
+      pairs.push_back(run_start);
+      pairs.push_back(run_len);
+    }
+    const std::uint64_t max_u64s =
+        std::max<std::uint64_t>(geom().page_size / 16, 1) * 2;
+    for (std::size_t i = 0; i < pairs.size(); i += max_u64s) {
+      const std::size_t end =
+          std::min<std::size_t>(pairs.size(), i + max_u64s);
+      append_journal_page(std::vector<std::uint64_t>(
+          pairs.begin() + static_cast<std::ptrdiff_t>(i),
+          pairs.begin() + static_cast<std::ptrdiff_t>(end)));
+    }
+  }
+
+  // Reclaim the superseded journal superblocks.
+  for (const std::uint64_t sb : old_sbs) {
+    is_journal_sb_[sb] = 0;
+    if (pending_retire_[sb]) {
+      pending_retire_[sb] = 0;
+      PHFTL_CHECK(pending_retire_count_ > 0);
+      --pending_retire_count_;
+      flash_.retire_superblock(sb);
+      ++stats_.blocks_retired;
+      retired_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kBlockRetired, virtual_clock_,
+                          sb);
+    } else if (!flash_.erase_superblock(sb)) {
+      ++stats_.erase_failures;
+      erase_fail_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kEraseFail, virtual_clock_,
+                          sb);
+    } else {
+      ++stats_.erases;
+      free_pool_.push_back(sb);
+      erases_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_,
+                          sb);
+    }
+  }
+
+  ++stats_.trim_journal_compactions;
+  journal_compactions_ctr_->inc();
+  // Re-derive the threshold from the surviving footprint so a large live
+  // tombstone set doesn't trigger back-to-back compactions.
+  journal_compact_threshold_ = std::max<std::uint64_t>(
+      geom().pages_per_superblock() / 2, 2 * journal_pages_used_);
+  obs_.trace().record(obs::TraceEventType::kTrimJournalCompact,
+                      virtual_clock_, journal_pages_used_, live_tombstones_);
+  in_compaction_ = false;
+}
+
+void FtlBase::raw_unmap(Lpn lpn) {
+  const Ppn old = l2p_[lpn];
+  if (old == kInvalidPpn) return;
+  PHFTL_CHECK_MSG(valid_bit_[old], "mapping points at invalid page");
+  valid_bit_[old] = 0;
+  p2l_[old] = kInvalidLpn;
+  const std::uint64_t sb = geom().superblock_of(old);
+  PHFTL_CHECK(sb_meta_[sb].valid_count > 0);
+  --sb_meta_[sb].valid_count;
+  if (victim_index_.contains(sb))
+    victim_index_.update(sb, sb_meta_[sb].valid_count);
   l2p_[lpn] = kInvalidPpn;
-  trims_ctr_->inc();
+  PHFTL_CHECK(mapped_count_ > 0);
+  --mapped_count_;
 }
 
 void FtlBase::invalidate(Lpn lpn) {
@@ -282,7 +618,10 @@ Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
                           os.sb, 0, target);
       flash_.close_superblock(os.sb);
       sb_meta_[os.sb].close_time = virtual_clock_;
-      pending_retire_[os.sb] = 1;
+      if (!pending_retire_[os.sb]) {
+        pending_retire_[os.sb] = 1;
+        ++pending_retire_count_;
+      }
       victim_index_.insert(os.sb, sb_meta_[os.sb].valid_count);
       obs_.trace().record(obs::TraceEventType::kSuperblockClose,
                           virtual_clock_, os.sb, sb_meta_[os.sb].valid_count,
@@ -319,6 +658,7 @@ Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
   PHFTL_CHECK_MSG(flash_.state(sb) == SuperblockState::kOpen,
                   "meta pages go into the still-open superblock");
   OobData oob;  // meta pages carry no logical mapping
+  oob.kind = PageKind::kMeta;
   const Ppn ppn = flash_.program(sb, payload, oob);
   if (ppn == kInvalidPpn) {
     // A failed meta page is tolerable — the per-page OOB copies remain
@@ -327,7 +667,10 @@ Ppn FtlBase::program_meta_page(std::uint64_t sb, std::uint64_t payload) {
     // meta pages; each tail slot is attempted exactly once either way.
     ++stats_.program_failures;
     program_fail_ctr_->inc();
-    pending_retire_[sb] = 1;
+    if (!pending_retire_[sb]) {
+      pending_retire_[sb] = 1;
+      ++pending_retire_count_;
+    }
     obs_.trace().record(obs::TraceEventType::kProgramFail, virtual_clock_, sb,
                         0, sb_meta_[sb].stream);
     return kInvalidPpn;
@@ -347,11 +690,20 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
   std::fill(valid_bit_.begin(), valid_bit_.end(), 0);
   std::fill(gc_count_.begin(), gc_count_.end(), 0);
   for (auto& meta : sb_meta_) meta.valid_count = 0;
+  std::fill(is_journal_sb_.begin(), is_journal_sb_.end(), 0);
+  std::fill(tombstone_.begin(), tombstone_.end(), 0);
+  journal_sbs_.clear();
+  journal_sb_ = OpenStream::kNoSb;
+  journal_pages_used_ = 0;
+  live_tombstones_ = 0;
+  mapped_count_ = 0;
 
   // Pass 1: the newest copy (highest program sequence) of each LPN wins.
   // Free blocks hold nothing; bad blocks are excluded because their
   // contents are undefined (erase failure) or fully drained by GC before
-  // retirement — the newest copy of an LPN never lives there.
+  // retirement — the newest copy of an LPN never lives there. Journal
+  // superblocks are detected here (any page with kind == kTrimJournal) so
+  // later passes and the replay step can treat them specially.
   std::uint64_t oob_scans = 0;
   std::vector<std::uint64_t> best_seq(logical_pages_, 0);
   for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
@@ -364,6 +716,14 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
       if (!flash_.is_programmed(ppn)) continue;
       ++oob_scans;
       const OobData& oob = flash_.read_oob(ppn);
+      if (oob.kind == PageKind::kTrimJournal) {
+        if (!is_journal_sb_[sb]) {
+          is_journal_sb_[sb] = 1;
+          journal_sbs_.push_back(sb);
+        }
+        ++journal_pages_used_;
+        continue;
+      }
       if (oob.lpn == kInvalidLpn) continue;  // meta page, not user data
       PHFTL_CHECK(oob.lpn < logical_pages_);
       if (oob.program_seq > best_seq[oob.lpn]) {
@@ -381,14 +741,57 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
     valid_bit_[ppn] = 1;
     gc_count_[ppn] = flash_.read_oob(ppn).gc_count;
     ++sb_meta_[geom().superblock_of(ppn)].valid_count;
+    ++mapped_count_;
   }
 
-  // Pass 3: rebuild the victim index from the recovered counts.
+  // Pass 3: rebuild the victim index from the recovered counts. Journal
+  // superblocks stay out — only compaction may reclaim them.
   victim_index_.reset(geom().num_superblocks(), geom().pages_per_superblock());
   for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb)
-    if (flash_.state(sb) == SuperblockState::kClosed)
+    if (flash_.state(sb) == SuperblockState::kClosed && !is_journal_sb_[sb])
       victim_index_.insert(sb, sb_meta_[sb].valid_count);
   return oob_scans;
+}
+
+void FtlBase::replay_trim_journal(RecoveryReport& rep) {
+  // Replay every record against the rebuilt mapping. A trimmed LPN is
+  // tombstoned iff its newest flash copy predates the trim (program_seq <=
+  // the record page's cutoff); a rewrite after the trim has a higher
+  // sequence and survives. The check makes replay order-independent and
+  // idempotent, so duplicate records (compaction overlap) are harmless.
+  for (const std::uint64_t sb : journal_sbs_) {
+    const std::uint64_t limit = flash_.write_pointer(sb);
+    for (std::uint64_t off = 0; off < limit; ++off) {
+      const Ppn ppn = geom().make_ppn(sb, off);
+      if (!flash_.is_programmed(ppn)) continue;
+      const OobData& oob = flash_.read_oob(ppn);
+      if (oob.kind != PageKind::kTrimJournal) continue;
+      const std::uint64_t cutoff = oob.trim_seq;
+      const std::vector<std::uint64_t>& blob = flash_.read_blob(ppn);
+      for (std::size_t i = 0; i + 1 < blob.size(); i += 2) {
+        const Lpn start = blob[i];
+        const std::uint64_t len = blob[i + 1];
+        PHFTL_CHECK(start + len <= logical_pages_);
+        ++rep.trim_records_replayed;
+        for (std::uint64_t k = 0; k < len; ++k) {
+          const Lpn lpn = start + k;
+          const Ppn cur = l2p_[lpn];
+          if (cur != kInvalidPpn &&
+              flash_.read_oob(cur).program_seq > cutoff)
+            continue;  // rewritten after this trim — mapping stands
+          if (cur != kInvalidPpn) {
+            raw_unmap(lpn);  // stale copy resurrected by the OOB rebuild
+            ++rep.trim_tombstones;
+          }
+          if (!tombstone_[lpn]) {
+            tombstone_[lpn] = 1;
+            ++live_tombstones_;
+          }
+        }
+      }
+    }
+  }
+  journal_replayed_ctr_->add(rep.trim_tombstones);
 }
 
 RecoveryReport FtlBase::recover() {
@@ -406,14 +809,24 @@ RecoveryReport FtlBase::recover() {
     }
   }
 
-  // Step 2: everything RAM-only is gone.
+  // Step 2: everything RAM-only is gone. (Journal extent, tombstone set,
+  // and mapped count are re-derived from flash by the rebuild + replay.)
   for (auto& os : open_) os.sb = OpenStream::kNoSb;
   std::fill(pending_retire_.begin(), pending_retire_.end(), 0);
+  pending_retire_count_ = 0;
   prev_req_end_ = kInvalidLpn;
   in_gc_ = false;
+  in_compaction_ = false;
 
-  // Step 3: base mapping / validity / victim-index rebuild from OOB.
+  // Step 3: base mapping / validity / victim-index rebuild from OOB. This
+  // also detects the journal superblocks (pages with kind == kTrimJournal).
   rep.oob_scans = rebuild_mapping_from_flash();
+
+  // Step 3.5: replay the trim journal *after* the rebuild — pass 1 maps
+  // every LPN to its newest flash copy, including copies the host had
+  // already discarded; the replay tombstones those again so trimmed pages
+  // stay trimmed across the cut.
+  replay_trim_journal(rep);
 
   // Step 4: re-derive the virtual clock and per-superblock close times.
   // Every programmed user page (valid or stale — GC copies preserve the
@@ -446,9 +859,16 @@ RecoveryReport FtlBase::recover() {
 
   for (Lpn lpn = 0; lpn < logical_pages_; ++lpn)
     if (l2p_[lpn] != kInvalidPpn) ++rep.mapped_lpns;
+  PHFTL_CHECK(mapped_count_ == rep.mapped_lpns);
 
   // Step 6: scheme-side re-derivation (meta cache, trainer, stream state).
   on_recovery(rep);
+
+  // Step 7: compact the journal down to (at most) one fresh superblock.
+  // Detected journal superblocks are all closed, so without this every
+  // post-mount trim would open an additional one and the watermark reserve
+  // would creep upward mount over mount.
+  if (!journal_sbs_.empty()) compact_trim_journal();
 
   rep.rebuild_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -537,6 +957,8 @@ bool FtlBase::gc_once() {
     // The block failed a program earlier; now that GC drained it, take it
     // out of service for good. It never returns to the free pool.
     pending_retire_[victim] = 0;
+    PHFTL_CHECK(pending_retire_count_ > 0);
+    --pending_retire_count_;
     flash_.retire_superblock(victim);
     ++stats_.blocks_retired;
     retired_ctr_->inc();

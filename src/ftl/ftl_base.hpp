@@ -53,6 +53,10 @@ struct RecoveryReport {
   std::uint64_t open_sbs_closed = 0;  ///< superblocks left open by the cut
   std::uint64_t recovered_vclock = 0; ///< virtual clock after recovery
   std::uint64_t rebuild_ns = 0;       ///< wall-clock time of the whole mount
+  /// Trim-journal range records replayed against the rebuilt mapping.
+  std::uint64_t trim_records_replayed = 0;
+  /// LPNs the replay tombstoned (resurrected stale copies unmapped again).
+  std::uint64_t trim_tombstones = 0;
 };
 
 class FtlBase {
@@ -66,15 +70,26 @@ class FtlBase {
   /// Number of logical pages exported to the host.
   std::uint64_t logical_pages() const { return logical_pages_; }
 
-  /// Submit a block-layer request; pages are processed in order.
+  /// Submit a block-layer request; pages are processed in order. Aborts
+  /// (PHFTL_CHECK) if a write is rejected at the capacity watermark — use
+  /// submit_checked() to observe ENOSPC instead.
   void submit(const HostRequest& req);
+  /// Admission-checked submit: write pages past the capacity watermark are
+  /// rejected with WriteResult::kEnospc instead of aborting. Pages are
+  /// processed in order; see SubmitResult for partial-completion semantics.
+  SubmitResult submit_checked(const HostRequest& req);
 
   /// Single-page operations (page-granularity convenience API).
   void write_page(Lpn lpn, const WriteContext& ctx);
+  /// Admission-checked single-page write. Returns kEnospc — with no state
+  /// modified — when accepting the page would push the mapped-page count
+  /// past capacity_watermark_pages(); kOk otherwise.
+  WriteResult try_write_page(Lpn lpn, const WriteContext& ctx);
   /// Returns the stored payload, or 0 if the page was never written.
   std::uint64_t read_page(Lpn lpn);
-  /// Discard a logical page (TRIM).
-  void trim_page(Lpn lpn);
+  /// Discard a logical page (TRIM). Returns true if the page was mapped
+  /// (an effective trim, journaled for crash durability).
+  bool trim_page(Lpn lpn);
 
   bool is_mapped(Lpn lpn) const { return l2p_[lpn] != kInvalidPpn; }
   Ppn lookup(Lpn lpn) const { return l2p_[lpn]; }
@@ -85,6 +100,32 @@ class FtlBase {
   std::uint64_t virtual_clock() const { return virtual_clock_; }
   std::uint64_t free_superblock_count() const { return free_pool_.size(); }
   std::uint32_t num_streams() const { return num_streams_; }
+
+  /// Logical pages currently mapped (tracked incrementally).
+  std::uint64_t mapped_page_count() const { return mapped_count_; }
+  /// Host-visible capacity in pages under the current physical reserve:
+  /// superblocks minus bad blocks, the GC free-pool target, and the
+  /// trim-journal reserve, times the data capacity of a superblock. Writes
+  /// that would map more pages than this are rejected with kEnospc. Shrinks
+  /// as blocks go bad or are retired; 0 means the drive is read-only.
+  std::uint64_t capacity_watermark_pages() const;
+  /// True if `sb` currently holds trim-journal record pages (excluded from
+  /// the victim index and from the data capacity).
+  bool is_journal_sb(std::uint64_t sb) const {
+    return is_journal_sb_[sb] != 0;
+  }
+  /// Trim-journal footprint (record pages live in the journal stream).
+  std::uint64_t trim_journal_pages() const { return journal_pages_used_; }
+  std::uint64_t trim_journal_superblocks() const {
+    return journal_sbs_.size();
+  }
+  /// Trimmed-and-not-rewritten LPNs the journal currently guarantees stay
+  /// unmapped across an unclean shutdown.
+  std::uint64_t live_tombstones() const { return live_tombstones_; }
+
+  /// Test hook: jump the virtual clock forward (e.g. near 2^32 to exercise
+  /// timestamp-width regressions). Must not move the clock backwards.
+  void seed_virtual_clock(std::uint64_t v);
 
   /// Human-readable scheme name for benchmark tables.
   virtual std::string name() const = 0;
@@ -122,10 +163,14 @@ class FtlBase {
   ///      rebuilt from OOB (rebuild_mapping_from_flash),
   ///   3. the virtual clock restarts at max(write_time of any user page)+1,
   ///      a lower bound on the pre-crash clock (documented in RECOVERY.md),
-  ///   4. close_time is re-derived per closed superblock (newest page in
+  ///   4. the trim journal is replayed *after* the OOB rebuild: any LPN
+  ///      whose newest flash copy predates its journaled trim is unmapped
+  ///      again (trimmed pages stay trimmed — docs/RECOVERY.md),
+  ///   5. close_time is re-derived per closed superblock (newest page in
   ///      it), and the free pool is rebuilt from free superblocks,
-  ///   5. the scheme's on_recovery() hook re-derives or resets policy state
-  ///      (PHFTL: meta cache cold start, trainer/threshold safe defaults).
+  ///   6. the scheme's on_recovery() hook re-derives or resets policy state
+  ///      (PHFTL: meta cache cold start, trainer/threshold safe defaults),
+  ///   7. the journal is compacted so it occupies at most one superblock.
   /// Cumulative FtlStats are process-lifetime diagnostics and survive.
   RecoveryReport recover();
 
@@ -254,6 +299,27 @@ class FtlBase {
   /// One GC round; returns false when the best victim reclaims nothing.
   bool gc_once();
 
+  /// Shared body of write_page / try_write_page. `checked` selects whether
+  /// the capacity watermark rejects (kEnospc) or aborts.
+  WriteResult write_page_impl(Lpn lpn, const WriteContext& ctx, bool checked);
+  /// Trim [start, start+n): raw-unmap every mapped page, set tombstones,
+  /// and journal the effective runs. Returns the number of effective trims.
+  std::uint64_t trim_range(Lpn start, std::uint64_t n);
+  /// Flush (start,len) range pairs to the journal, chunked to page-sized
+  /// records; may trigger compaction afterwards.
+  void append_journal_records(const std::vector<std::uint64_t>& pairs);
+  /// Program one journal record page (retrying across program failures).
+  void append_journal_page(std::vector<std::uint64_t> chunk);
+  /// Rewrite the live tombstone set densely into a fresh journal
+  /// superblock, then reclaim the old journal superblocks.
+  void compact_trim_journal();
+  /// Recovery step: replay journal records against the rebuilt mapping,
+  /// unmapping any LPN whose newest flash copy predates its trim.
+  void replay_trim_journal(RecoveryReport& rep);
+  /// Unmap without policy hooks (recovery replay / trim): clears validity,
+  /// P2L, L2P, and fixes the victim index if the superblock is closed.
+  void raw_unmap(Lpn lpn);
+
   /// Register the FTL-layer metrics and cache their handles (cold path;
   /// run once from the constructor).
   void register_ftl_metrics();
@@ -286,6 +352,29 @@ class FtlBase {
   std::uint64_t prev_req_end_ = kInvalidLpn;
   bool in_gc_ = false;
 
+  // --- trim journal + capacity accounting ---
+  /// Open journal superblock accepting record pages (kNoSb when none).
+  std::uint64_t journal_sb_ = OpenStream::kNoSb;
+  /// All superblocks holding journal records (open + closed), oldest first.
+  std::vector<std::uint64_t> journal_sbs_;
+  /// Per-superblock flag mirroring journal_sbs_ membership (O(1) queries).
+  std::vector<std::uint8_t> is_journal_sb_;
+  /// Record pages programmed since the last compaction.
+  std::uint64_t journal_pages_used_ = 0;
+  /// Compact when journal_pages_used_ exceeds this (re-derived after each
+  /// compaction so a large live tombstone set doesn't thrash).
+  std::uint64_t journal_compact_threshold_ = 0;
+  bool in_compaction_ = false;
+  /// tombstone_[lpn] = trimmed and not rewritten since; the set the journal
+  /// must preserve across power cuts. live_tombstones_ counts the 1-bits.
+  std::vector<std::uint8_t> tombstone_;
+  std::uint64_t live_tombstones_ = 0;
+  /// Logical pages currently mapped (admission-checked against the
+  /// capacity watermark).
+  std::uint64_t mapped_count_ = 0;
+  /// Superblocks flagged pending-retire (gauge source).
+  std::uint64_t pending_retire_count_ = 0;
+
   // --- observability (handles are stable; no allocation after setup) ---
   obs::Observability obs_;
   std::vector<obs::Counter*> stream_host_writes_;   ///< per-stream user pages
@@ -304,12 +393,22 @@ class FtlBase {
   obs::Counter* recovery_mounts_ctr_ = nullptr;
   obs::Counter* recovery_oob_scans_ctr_ = nullptr;
   obs::Counter* recovery_rebuild_ns_ctr_ = nullptr;
+  obs::Counter* journal_appends_ctr_ = nullptr;
+  obs::Counter* journal_records_ctr_ = nullptr;
+  obs::Counter* journal_compactions_ctr_ = nullptr;
+  obs::Counter* journal_replayed_ctr_ = nullptr;
+  obs::Counter* enospc_ctr_ = nullptr;
   obs::Histogram* victim_valid_hist_ = nullptr;
   obs::Gauge* bad_blocks_gauge_ = nullptr;
   obs::Gauge* wa_gauge_ = nullptr;
   obs::Gauge* free_sb_gauge_ = nullptr;
   obs::Gauge* closed_sb_gauge_ = nullptr;
+  obs::Gauge* pending_retire_gauge_ = nullptr;
   obs::Gauge* vclock_gauge_ = nullptr;
+  obs::Gauge* journal_pages_gauge_ = nullptr;
+  obs::Gauge* journal_sbs_gauge_ = nullptr;
+  obs::Gauge* watermark_gauge_ = nullptr;
+  obs::Gauge* mapped_gauge_ = nullptr;
 };
 
 }  // namespace phftl

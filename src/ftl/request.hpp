@@ -17,6 +17,21 @@ struct HostRequest {
   std::uint32_t num_pages = 1;
 };
 
+/// Outcome of an admission-checked host write. kEnospc means the write was
+/// rejected at the capacity watermark: accepting it could leave GC unable
+/// to reach its free-superblock target (over-provisioning lost to
+/// bad/retired blocks plus trim-journal overhead). Nothing was modified;
+/// the host may retry after trimming.
+enum class WriteResult : std::uint8_t { kOk = 0, kEnospc = 1 };
+
+/// Outcome of an admission-checked request. Pages are processed in order,
+/// so on kEnospc the first `pages_completed` pages of the request took
+/// effect and the rest did not.
+struct SubmitResult {
+  WriteResult status = WriteResult::kOk;
+  std::uint32_t pages_completed = 0;
+};
+
 /// Per-page context handed to an FTL's user-write classifier.
 struct WriteContext {
   std::uint64_t now = 0;           ///< virtual clock: host pages written so far

@@ -25,10 +25,20 @@ struct FtlStats {
   /// Superblocks retired after a program failure (drained by GC, then
   /// taken out of service without an erase).
   std::uint64_t blocks_retired = 0;
+  /// Effective trims: logical pages that were mapped when discarded
+  /// (trims of already-unmapped pages are no-ops and not counted).
+  std::uint64_t trims = 0;
+  /// Trim-journal record pages programmed (appends + compaction rewrites).
+  std::uint64_t journal_writes = 0;
+  /// Trim-journal compactions (old record superblocks reclaimed).
+  std::uint64_t trim_journal_compactions = 0;
+  /// Host writes rejected at the capacity watermark (ENOSPC).
+  std::uint64_t enospc_rejections = 0;
 
-  /// Total flash page programs (F).
+  /// Total flash page programs (F): user + GC migrations + meta pages +
+  /// trim-journal record pages.
   std::uint64_t flash_writes() const {
-    return user_writes + gc_writes + meta_writes;
+    return user_writes + gc_writes + meta_writes + journal_writes;
   }
 
   /// Paper §V-B: WA = (F - U) / U, reported as a percentage in Fig. 5.

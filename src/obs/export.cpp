@@ -231,6 +231,27 @@ void append_chrome_event(std::string& out, const TraceEvent& e) {
              ", \"args\": {\"sb\": " + fmt_u64(e.a) +
              ", \"stream\": " + fmt_num(e.stream) + "}}";
       break;
+    case TraceEventType::kTrimJournalAppend:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"journal\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"ppn\": " + fmt_u64(e.a) +
+             ", \"records\": " + fmt_u64(e.b) + "}}";
+      break;
+    case TraceEventType::kTrimJournalCompact:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"journal\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"pages_after\": " + fmt_u64(e.a) +
+             ", \"tombstones\": " + fmt_u64(e.b) + "}}";
+      break;
+    case TraceEventType::kEnospc:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"capacity\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"lpn\": " + fmt_u64(e.a) +
+             ", \"mapped_pages\": " + fmt_u64(e.b) + "}}";
+      break;
     case TraceEventType::kRecovery:
       // Complete event on the FTL lane; dur is the measured rebuild time.
       out += "{\"name\": \"" + std::string(name) +

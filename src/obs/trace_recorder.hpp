@@ -35,6 +35,9 @@ enum class TraceEventType : std::uint8_t {
   kEraseFail,        ///< a = sb (block goes bad)
   kBlockRetired,     ///< a = sb taken out of service after a program failure
   kRecovery,         ///< a = OOB pages scanned, b = rebuild wall-clock ns
+  kTrimJournalAppend,   ///< a = journal page ppn, b = range records in it
+  kTrimJournalCompact,  ///< a = record pages after compaction, b = tombstones
+  kEnospc,              ///< a = rejected lpn, b = mapped pages at rejection
 };
 
 inline const char* trace_event_name(TraceEventType t) {
@@ -52,6 +55,9 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kEraseFail: return "erase_fail";
     case TraceEventType::kBlockRetired: return "block_retired";
     case TraceEventType::kRecovery: return "recovery";
+    case TraceEventType::kTrimJournalAppend: return "trim_journal_append";
+    case TraceEventType::kTrimJournalCompact: return "trim_journal_compact";
+    case TraceEventType::kEnospc: return "enospc";
   }
   return "?";
 }

@@ -75,6 +75,42 @@ TEST_F(FlashArrayTest, ProgramReadRoundTrip) {
   EXPECT_EQ(flash_.read_oob(ppn).write_time, 99u);
 }
 
+TEST_F(FlashArrayTest, OobCarries64BitClockKindAndTrimSeq) {
+  flash_.open_superblock(0);
+  OobData oob;
+  oob.lpn = 3;
+  oob.write_time = (1ULL << 32) + 17;  // must not truncate to 32 bits
+  oob.kind = PageKind::kTrimJournal;
+  oob.trim_seq = (1ULL << 40) + 5;
+  const Ppn ppn = flash_.program(0, 1, oob);
+  EXPECT_EQ(flash_.read_oob(ppn).write_time, (1ULL << 32) + 17);
+  EXPECT_EQ(flash_.read_oob(ppn).kind, PageKind::kTrimJournal);
+  EXPECT_EQ(flash_.read_oob(ppn).trim_seq, (1ULL << 40) + 5);
+  // Default kind is user data.
+  const Ppn ppn2 = flash_.program(0, 2, OobData{});
+  EXPECT_EQ(flash_.read_oob(ppn2).kind, PageKind::kUser);
+}
+
+TEST_F(FlashArrayTest, BlobPagesRoundTripAndVanishOnErase) {
+  flash_.open_superblock(1);
+  OobData oob;
+  oob.kind = PageKind::kTrimJournal;
+  const std::vector<std::uint64_t> records = {10, 4, 100, 1};
+  const Ppn ppn = flash_.program_blob(1, oob, records);
+  ASSERT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(flash_.read_blob(ppn), records);
+  EXPECT_TRUE(flash_.is_programmed(ppn));
+  // A plain programmed page has an empty blob.
+  const Ppn plain = flash_.program(1, 9, OobData{});
+  EXPECT_TRUE(flash_.read_blob(plain).empty());
+  // Erase drops the side-table entries with the superblock.
+  flash_.close_superblock(1);
+  ASSERT_TRUE(flash_.erase_superblock(1));
+  flash_.open_superblock(1);
+  const Ppn reused = flash_.program(1, 1, OobData{});
+  EXPECT_TRUE(flash_.read_blob(reused).empty());
+}
+
 TEST_F(FlashArrayTest, WritePointerAdvancesSequentially) {
   flash_.open_superblock(2);
   const Geometry& g = flash_.geometry();

@@ -50,11 +50,35 @@ TEST(FtlBase, TrimUnmaps) {
   WriteContext ctx;
   ftl.write_page(9, ctx);
   const Ppn ppn = ftl.lookup(9);
-  ftl.trim_page(9);
+  EXPECT_TRUE(ftl.trim_page(9));
   EXPECT_FALSE(ftl.is_mapped(9));
   EXPECT_FALSE(ftl.page_valid(ppn));
-  // Trim of an unmapped page is a no-op.
-  ftl.trim_page(9);
+  EXPECT_EQ(ftl.stats().trims, 1u);
+  EXPECT_EQ(ftl.live_tombstones(), 1u);
+  // Trim of an unmapped page is a no-op: not counted, not journaled again.
+  EXPECT_FALSE(ftl.trim_page(9));
+  EXPECT_EQ(ftl.stats().trims, 1u);
+  // The effective trim was journaled before being acknowledged.
+  EXPECT_EQ(ftl.stats().journal_writes, 1u);
+  EXPECT_EQ(ftl.trim_journal_superblocks(), 1u);
+}
+
+TEST(FtlBase, MappedCountAndWatermarkTracking) {
+  BaseFtl ftl(small_config());
+  WriteContext ctx;
+  EXPECT_EQ(ftl.mapped_page_count(), 0u);
+  ftl.write_page(3, ctx);
+  ftl.write_page(4, ctx);
+  ftl.write_page(3, ctx);  // overwrite: mapped count unchanged
+  EXPECT_EQ(ftl.mapped_page_count(), 2u);
+  ftl.trim_page(4);
+  EXPECT_EQ(ftl.mapped_page_count(), 1u);
+  // A healthy small_config drive admits its whole logical space.
+  EXPECT_GE(ftl.capacity_watermark_pages(), ftl.logical_pages());
+  EXPECT_EQ(ftl.try_write_page(4, ctx), WriteResult::kOk);
+  EXPECT_EQ(ftl.mapped_page_count(), 2u);
+  // A rewrite clears the tombstone (the trim no longer needs preserving).
+  EXPECT_EQ(ftl.live_tombstones(), 0u);
 }
 
 TEST(FtlBase, VirtualClockCountsHostPages) {
@@ -269,8 +293,10 @@ TEST_P(FtlIntegrityTest, VictimIndexAgreesWithFreshScanUnderRandomTraffic) {
     std::set<std::uint64_t> from_index;
     ftl->for_each_closed([&](std::uint64_t sb) { from_index.insert(sb); });
     std::set<std::uint64_t> from_scan;
+    // Trim-journal superblocks are closed but never GC candidates.
     for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
-      if (ftl->flash().state(sb) == SuperblockState::kClosed)
+      if (ftl->flash().state(sb) == SuperblockState::kClosed &&
+          !ftl->is_journal_sb(sb))
         from_scan.insert(sb);
     ASSERT_EQ(from_index, from_scan) << "op " << op;
     ASSERT_EQ(ftl->closed_count(), from_scan.size());
@@ -313,7 +339,8 @@ TEST_P(FtlIntegrityTest, VictimIndexSurvivesRecoveryRebuild) {
   ftl->for_each_closed([&](std::uint64_t sb) { from_index.insert(sb); });
   std::set<std::uint64_t> from_scan;
   for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb)
-    if (ftl->flash().state(sb) == SuperblockState::kClosed)
+    if (ftl->flash().state(sb) == SuperblockState::kClosed &&
+        !ftl->is_journal_sb(sb))
       from_scan.insert(sb);
   EXPECT_EQ(from_index, from_scan);
   if (!from_scan.empty()) {

@@ -10,7 +10,7 @@ Geometry meta_geom() {
   g.num_dies = 4;
   g.blocks_per_die = 16;   // 16 superblocks
   g.pages_per_block = 32;  // 128 pages per superblock
-  g.page_size = 4096;      // 113 entries per meta page
+  g.page_size = 4096;      // 102 entries per meta page
   return g;
 }
 
@@ -25,22 +25,22 @@ MetaStore::Config meta_cfg(double cache_fraction = 0.01,
 
 TEST(MetaStore, LayoutSolvesDataMetaSplit) {
   MetaStore store(meta_cfg());
-  // 4096 / 36 = 113 entries per meta page; 128 pages → 2 meta + 126 data
-  // (126 ≤ 2·113 ✓, and 1 meta page could only cover 113 < 127).
-  EXPECT_EQ(store.entries_per_meta_page(), 113u);
+  // 4096 / 40 = 102 entries per meta page; 128 pages → 2 meta + 126 data
+  // (126 ≤ 2·102 ✓, and 1 meta page could only cover 102 < 127).
+  EXPECT_EQ(store.entries_per_meta_page(), 102u);
   EXPECT_EQ(store.meta_pages_per_superblock(), 2u);
   EXPECT_EQ(store.data_pages_per_superblock(), 126u);
   EXPECT_EQ(store.total_meta_pages(), 32u);
 }
 
-TEST(MetaStore, PaperGeometryYields455Entries) {
+TEST(MetaStore, PaperGeometryYields409Entries) {
   MetaStore::Config cfg;
   cfg.geom.num_dies = 8;
   cfg.geom.blocks_per_die = 96;
   cfg.geom.pages_per_block = 64;  // 512-page superblocks
   cfg.geom.page_size = 16 * 1024;
   MetaStore store(cfg);
-  EXPECT_EQ(store.entries_per_meta_page(), 455u);  // paper: 16KB / 36B
+  EXPECT_EQ(store.entries_per_meta_page(), 409u);  // 16KB / 40B entries
   EXPECT_EQ(store.meta_pages_per_superblock(), 2u);
   EXPECT_EQ(store.data_pages_per_superblock(), 510u);
 }
@@ -48,9 +48,9 @@ TEST(MetaStore, PaperGeometryYields455Entries) {
 TEST(MetaStore, MppnGroupsConsecutiveDataPages) {
   MetaStore store(meta_cfg());
   const Geometry g = meta_geom();
-  // Pages 0..112 of superblock 0 share meta page 0; 113.. map to 1.
-  EXPECT_EQ(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(0, 112)));
-  EXPECT_NE(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(0, 113)));
+  // Pages 0..101 of superblock 0 share meta page 0; 102.. map to 1.
+  EXPECT_EQ(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(0, 101)));
+  EXPECT_NE(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(0, 102)));
   // Different superblocks never share meta pages.
   EXPECT_NE(store.mppn_of(g.make_ppn(0, 0)), store.mppn_of(g.make_ppn(1, 0)));
 }

@@ -57,11 +57,16 @@ void check_invariants(const FtlBase& ftl) {
         return true;
       });
   std::uint64_t closed = 0;
-  for (std::uint64_t sb = 0; sb < g.num_superblocks(); ++sb)
-    if (ftl.flash().state(sb) == SuperblockState::kClosed) {
-      ++closed;
-      EXPECT_TRUE(indexed.count(sb)) << "closed sb " << sb << " not indexed";
+  for (std::uint64_t sb = 0; sb < g.num_superblocks(); ++sb) {
+    if (ftl.flash().state(sb) != SuperblockState::kClosed) continue;
+    if (ftl.is_journal_sb(sb)) {
+      // Trim-journal superblocks are closed but must never be GC victims.
+      EXPECT_FALSE(indexed.count(sb)) << "journal sb " << sb << " indexed";
+      continue;
     }
+    ++closed;
+    EXPECT_TRUE(indexed.count(sb)) << "closed sb " << sb << " not indexed";
+  }
   EXPECT_EQ(indexed.size(), closed);
   // WA accounting sanity: flash programs never undercount host writes.
   EXPECT_GE(ftl.stats().flash_writes(), ftl.stats().user_writes);
@@ -132,18 +137,90 @@ TEST_P(RecoveryTest, DeviceRemainsUsableAfterRecovery) {
   }
 }
 
-TEST_P(RecoveryTest, TrimmedPagesStayUnmappedOnlyIfNeverRewritten) {
-  // A trim leaves no tombstone in flash, so recovery resurrects the last
-  // written version — the documented semantics of OOB-only reconstruction
-  // (real FTLs journal trims separately).
+TEST_P(RecoveryTest, TrimmedPagesStayUnmappedAcrossRecovery) {
+  // Trims are journaled before being acknowledged, and recover() replays
+  // the journal after the OOB rebuild — so a trimmed-and-not-rewritten page
+  // must stay unmapped across an unclean shutdown (docs/RECOVERY.md).
   const FtlConfig cfg = small_config();
   auto ftl = make_ftl(GetParam(), cfg);
   WriteContext ctx;
   ftl->write_page(7, ctx);
   ftl->trim_page(7);
   EXPECT_FALSE(ftl->is_mapped(7));
+
+  // The raw OOB rebuild alone resurrects the stale copy (the newest flash
+  // copy of LPN 7 still exists) — exactly the bug the journal fixes.
   ftl->rebuild_mapping_from_flash();
-  EXPECT_TRUE(ftl->is_mapped(7));  // resurrected, by design
+  EXPECT_TRUE(ftl->is_mapped(7));
+
+  const RecoveryReport rep = ftl->recover();
+  EXPECT_FALSE(ftl->is_mapped(7)) << "trim resurrected across recovery";
+  EXPECT_GE(rep.trim_records_replayed, 1u);
+  EXPECT_GE(rep.trim_tombstones, 1u);
+  EXPECT_GE(ftl->live_tombstones(), 1u);
+
+  // A rewrite after the trim wins over the journal record.
+  ftl->write_page(7, ctx);
+  ftl->recover();
+  EXPECT_TRUE(ftl->is_mapped(7));
+  EXPECT_EQ(ftl->read_page(7), 7 ^ 0x5bd1e995ULL);
+}
+
+TEST_P(RecoveryTest, JournalCompactionPreservesTombstones) {
+  // Force enough trim churn to trigger compaction, then crash: the rewritten
+  // (dense) journal must still protect every live tombstone, and the journal
+  // footprint must stay bounded at one superblock after every mount.
+  const FtlConfig cfg = small_config();
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+  const std::uint64_t logical = ftl->logical_pages();
+  WriteContext ctx;
+  Xoshiro256 rng(2024);
+  std::vector<std::uint8_t> trimmed(logical, 0);
+  // Each round writes two pages and trims one of them immediately, so every
+  // trim is effective and appends one record page — comfortably exceeding
+  // the compaction threshold (half a superblock of record pages).
+  const std::uint64_t rounds = 2 * cfg.geom.pages_per_superblock() + 64;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const Lpn keep = rng.next_below(logical);
+    ftl->write_page(keep, ctx);
+    trimmed[keep] = 0;
+    const Lpn t = rng.next_below(logical);
+    ftl->write_page(t, ctx);
+    trimmed[t] = 0;
+    ASSERT_TRUE(ftl->trim_page(t));
+    trimmed[t] = 1;
+  }
+  EXPECT_GE(ftl->stats().trim_journal_compactions, 1u);
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+
+  ftl->recover();
+  for (Lpn lpn = 0; lpn < logical; ++lpn)
+    ASSERT_FALSE(trimmed[lpn] && ftl->is_mapped(lpn))
+        << "trimmed lpn " << lpn << " resurrected";
+  // Post-mount the journal occupies at most one superblock.
+  EXPECT_LE(ftl->trim_journal_superblocks(), 1u);
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+}
+
+TEST_P(RecoveryTest, VirtualClockSurvivesCrossing32Bits) {
+  // Regression: OOB write_time used to be truncated to 32 bits, so a mount
+  // after the clock crossed 2^32 would warp lifetimes back to zero.
+  const FtlConfig cfg = small_config();
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+  WriteContext ctx;
+  Xoshiro256 rng(321);
+  const std::uint64_t seed_clock = (1ULL << 32) - 50;
+  ftl->seed_virtual_clock(seed_clock);
+  const std::uint64_t writes = 200;  // clock crosses 2^32 mid-loop
+  for (std::uint64_t w = 0; w < writes; ++w)
+    ftl->write_page(rng.next_below(ftl->logical_pages()), ctx);
+  EXPECT_GT(ftl->virtual_clock(), 1ULL << 32);
+
+  const RecoveryReport rep = ftl->recover();
+  EXPECT_GT(rep.recovered_vclock, 1ULL << 32)
+      << "recovered clock wrapped below 2^32";
+  EXPECT_LE(rep.recovered_vclock, seed_clock + writes + 1);
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
 }
 
 // --- randomized power-cut property test (docs/RECOVERY.md contract) ---
@@ -164,41 +241,61 @@ TEST_P(RecoveryTest, RandomizedPowerCutsPreserveAcknowledgedData) {
 
     Xoshiro256 rng(1000 + c);
     std::vector<std::uint8_t> acked(logical, 0);
+    // trimmed[lpn] = acknowledged trim not superseded by a rewrite; such
+    // pages must stay unmapped across every remount (the journal contract).
+    std::vector<std::uint8_t> trimmed(logical, 0);
+    const auto verify_trimmed = [&] {
+      for (Lpn lpn = 0; lpn < logical; ++lpn)
+        ASSERT_FALSE(trimmed[lpn] && ftl->is_mapped(lpn))
+            << "trimmed lpn " << lpn << " resurrected";
+    };
     WriteContext ctx;
     std::uint64_t pre_vclock = 0;
     for (std::uint64_t w = 0; w < cut; ++w) {
       if (rng.next_bool(0.05)) {
         const Lpn t = rng.next_below(logical);
-        ftl->trim_page(t);
+        if (ftl->trim_page(t)) trimmed[t] = 1;
         acked[t] = 0;
       }
       const Lpn lpn =
           rng.next_bool(0.5) ? rng.next_below(hot) : rng.next_below(logical);
       ftl->write_page(lpn, ctx);
       acked[lpn] = 1;
+      trimmed[lpn] = 0;
       ++pre_vclock;
     }
 
     const RecoveryReport rep = ftl->recover();
     ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked))
         << GetParam() << " cut " << cut;
+    ASSERT_NO_FATAL_FAILURE(verify_trimmed()) << GetParam() << " cut " << cut;
     ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl))
         << GetParam() << " cut " << cut;
     EXPECT_GT(rep.oob_scans, 0u);
     EXPECT_GT(rep.mapped_lpns, 0u);
+    // The journal never spans more than one superblock after a mount.
+    EXPECT_LE(ftl->trim_journal_superblocks(), 1u);
     // The re-derived clock is a lower bound on host writes issued
     // (write_time survives GC moves, so stale copies never inflate it).
     EXPECT_GT(rep.recovered_vclock, 0u);
     EXPECT_LE(rep.recovered_vclock, pre_vclock + 1);
 
-    // The drive must keep serving traffic after the remount.
+    // The drive must keep serving traffic after the remount, including
+    // further trims of recovered data.
     for (int w = 0; w < 400; ++w) {
+      if (rng.next_bool(0.05)) {
+        const Lpn t = rng.next_below(logical);
+        if (ftl->trim_page(t)) trimmed[t] = 1;
+        acked[t] = 0;
+      }
       const Lpn lpn = rng.next_below(logical);
       ftl->write_page(lpn, ctx);
       acked[lpn] = 1;
+      trimmed[lpn] = 0;
       ASSERT_EQ(ftl->read_page(lpn), lpn ^ 0x5bd1e995ULL);
     }
     ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+    ASSERT_NO_FATAL_FAILURE(verify_trimmed());
     ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
   }
 }
@@ -310,6 +407,69 @@ TEST_P(RecoveryTest, FactoryBadBlocksStayOutOfService) {
   ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
 }
 
+TEST_P(RecoveryTest, WatermarkRejectsWritesCleanlyUnderEraseStorm) {
+  // Erase-failure storm: blocks go bad until the over-provisioning is
+  // nearly exhausted. The capacity watermark must turn that into clean
+  // kEnospc rejections *before* GC runs out of headroom and aborts.
+  FtlConfig cfg = fault_config();
+  FaultInjector::Config fc;
+  FaultInjector injector(fc);
+  for (std::uint64_t e = 5; e <= 45; e += 5)
+    injector.schedule_erase_failure(e);  // nine failures
+  cfg.fault_injector = &injector;
+  auto ftl = make_crash_ftl(GetParam(), cfg);
+  const std::uint64_t logical = ftl->logical_pages();
+
+  // Fill the whole logical space — a healthy drive admits all of it.
+  WriteContext ctx;
+  for (Lpn lpn = 0; lpn < logical; ++lpn)
+    ASSERT_EQ(ftl->try_write_page(lpn, ctx), WriteResult::kOk);
+  ASSERT_EQ(ftl->mapped_page_count(), logical);
+
+  // Overwrite churn drives GC; each scheduled erase failure takes a block
+  // out of service until the watermark sinks below the mapped count.
+  Xoshiro256 rng(90);
+  bool saw_enospc = false;
+  for (std::uint64_t w = 0; w < logical * 6 && !saw_enospc; ++w) {
+    const Lpn lpn = rng.next_below(logical);
+    saw_enospc = ftl->try_write_page(lpn, ctx) == WriteResult::kEnospc;
+  }
+  ASSERT_TRUE(saw_enospc) << "erase storm never tripped the watermark";
+  EXPECT_GE(ftl->stats().enospc_rejections, 1u);
+  EXPECT_GT(ftl->mapped_page_count(), ftl->capacity_watermark_pages());
+
+  // The drive is read-only, not dead: every mapped page still reads back.
+  for (int i = 0; i < 100; ++i) {
+    const Lpn lpn = rng.next_below(logical);
+    EXPECT_EQ(ftl->read_page(lpn), lpn ^ 0x5bd1e995ULL);
+  }
+
+  // Trimming frees capacity, and writes are admitted again below the
+  // watermark (with slack for the request below).
+  std::uint64_t freed = 0;
+  for (Lpn lpn = 0;
+       lpn < logical &&
+       ftl->mapped_page_count() + 64 > ftl->capacity_watermark_pages();
+       ++lpn)
+    freed += ftl->trim_page(lpn) ? 1 : 0;
+  EXPECT_GT(freed, 64u);
+  EXPECT_EQ(ftl->try_write_page(logical - 1, ctx), WriteResult::kOk);
+
+  // A request that crosses the watermark mid-flight reports honest partial
+  // completion: the first pages_completed pages took effect, the rest
+  // (including the page that bounced) did not.
+  HostRequest req;
+  req.op = OpType::kWrite;
+  req.start_lpn = 0;  // the freshly trimmed region: all new mappings
+  req.num_pages = 256;
+  const SubmitResult sr = ftl->submit_checked(req);
+  EXPECT_EQ(sr.status, WriteResult::kEnospc);
+  ASSERT_LT(sr.pages_completed, req.num_pages);
+  EXPECT_GE(sr.pages_completed, 1u);
+  EXPECT_TRUE(ftl->is_mapped(sr.pages_completed - 1));
+  ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+}
+
 TEST_P(RecoveryTest, RecoveryAndFaultMetricsAreExported) {
   if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
   FtlConfig cfg = fault_config();
@@ -340,11 +500,25 @@ TEST_P(RecoveryTest, RecoveryAndFaultMetricsAreExported) {
   EXPECT_EQ(rebuild->value(), rep.rebuild_ns);
   EXPECT_EQ(pfail->value(), 1u);
 
+  // The pending-retire gauge is separate from the closed-superblock gauge
+  // and wiped by recover() (the flag table is RAM-only).
+  const auto* pending = reg.find_gauge("ftl.pending_retire_superblocks");
+  const auto* closed = reg.find_gauge("ftl.closed_superblocks");
+  ASSERT_NE(pending, nullptr);
+  ASSERT_NE(closed, nullptr);
+  EXPECT_EQ(pending->value(), 0.0);
+  EXPECT_NE(pending->value(), closed->value());
+
   const std::string json = obs::metrics_to_json(ftl->observability());
   for (const char* name :
        {"recovery.mounts", "recovery.oob_scans", "recovery.rebuild_ns",
         "flash.program_failures", "flash.erase_failures",
-        "flash.blocks_retired", "flash.bad_blocks"})
+        "flash.blocks_retired", "flash.bad_blocks",
+        "ftl.pending_retire_superblocks", "ftl.trim_journal.appends",
+        "ftl.trim_journal.records", "ftl.trim_journal.compactions",
+        "ftl.trim_journal.replayed_tombstones", "ftl.trim_journal.pages",
+        "ftl.trim_journal.superblocks", "ftl.capacity_watermark_pages",
+        "ftl.mapped_pages", "ftl.enospc_rejections"})
     EXPECT_NE(json.find(name), std::string::npos) << name;
 }
 
