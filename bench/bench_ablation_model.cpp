@@ -11,9 +11,11 @@
 //   * the GRU              (full sequence, hex encoding),
 // reporting held-out accuracy and parameter counts.
 #include <cstdio>
+#include <future>
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/features.hpp"
 #include "core/threshold.hpp"
 #include "ml/gru.hpp"
@@ -104,21 +106,13 @@ std::vector<int> labels_of(const std::vector<ml::Sequence>& s) {
   return out;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("Model exploration: classifier choice for the Page "
-              "Classifier (balanced datasets, 75/25 split)\n\n");
-
-  TextTable table;
-  table.header({"trace", "samples", "LogReg", "MLP (last step)",
-                "GRU (sequence)", "GRU params"});
-
-  for (const char* id : {"#52", "#141", "#721", "#228"}) {
+/// One trace's full exploration: dataset extraction + the three models.
+/// Returns an empty row when the trace yields too few samples.
+std::vector<std::string> explore_trace(const char* id) {
     const auto& spec = suite_spec(id);
     const Trace trace = make_suite_trace(spec, 3.0);
     const Dataset d = build_dataset(trace, 6000, 11);
-    if (d.train.size() < 100) continue;
+    if (d.train.size() < 100) return {};
 
     // Logistic regression on compact last-step features.
     float lr_acc;
@@ -165,10 +159,32 @@ int main() {
       gru_params = model.num_params();
     }
 
-    table.row({id, std::to_string(d.train.size() + d.test.size()),
-               TextTable::num(lr_acc), TextTable::num(mlp_acc),
-               TextTable::num(gru_acc), std::to_string(gru_params)});
-    std::fflush(stdout);
+    return {id, std::to_string(d.train.size() + d.test.size()),
+            TextTable::num(lr_acc), TextTable::num(mlp_acc),
+            TextTable::num(gru_acc), std::to_string(gru_params)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = phftl::bench::jobs_from_cli(argc, argv);
+  std::printf("Model exploration: classifier choice for the Page "
+              "Classifier (balanced datasets, 75/25 split), %u job(s)\n\n",
+              jobs);
+
+  // Each trace's exploration is self-contained (own dataset, own seeded
+  // models), so traces run concurrently and rows land in trace order.
+  util::ThreadPool pool(jobs);
+  std::vector<std::future<std::vector<std::string>>> rows;
+  for (const char* id : {"#52", "#141", "#721", "#228"})
+    rows.push_back(pool.submit([id] { return explore_trace(id); }));
+
+  TextTable table;
+  table.header({"trace", "samples", "LogReg", "MLP (last step)",
+                "GRU (sequence)", "GRU params"});
+  for (auto& row : rows) {
+    const std::vector<std::string> r = row.get();
+    if (!r.empty()) table.row(r);
   }
   table.render(std::cout);
   std::printf(

@@ -6,6 +6,7 @@
 // truncated to the latest write only, and reports the accuracy drop per
 // trace. A subset of traces keeps the runtime moderate; set
 // PHFTL_ABLATION_ALL=1 for the full suite.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -14,40 +15,47 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phftl;
-  using bench::run_suite_trace;
 
+  const unsigned jobs = bench::jobs_from_cli(argc, argv);
   const double drive_writes = drive_writes_from_env(6.0);
   const bool all = std::getenv("PHFTL_ABLATION_ALL") != nullptr;
   const std::vector<std::string> subset = {"#52", "#58",  "#144", "#177",
                                            "#721", "#126", "#223", "#679"};
 
   std::printf("Ablation: feature-sequence length 8 vs 1, %.1f drive "
-              "writes\n\n", drive_writes);
+              "writes, %u job(s)\n\n", drive_writes, jobs);
 
-  TextTable table;
-  table.header({"trace", "acc (seq=8)", "acc (seq=1)", "drop"});
-  double sum_drop = 0.0, max_drop = 0.0;
-  std::size_t count = 0;
-
+  // Grid: (trace × history_len ∈ {8, 1}) — cells i and i+1 pair up.
+  std::vector<bench::GridCell> cells;
   for (const auto& spec : alibaba_suite()) {
     if (!all && std::find(subset.begin(), subset.end(), spec.id) ==
                     subset.end())
       continue;
-    const auto full =
-        run_suite_trace(spec, "PHFTL", drive_writes, /*history_len=*/8);
-    const auto trunc =
-        run_suite_trace(spec, "PHFTL", drive_writes, /*history_len=*/1);
+    bench::RunOptions full, trunc;
+    full.history_len = 8;
+    trunc.history_len = 1;
+    cells.push_back({&spec, "PHFTL", drive_writes, full});
+    cells.push_back({&spec, "PHFTL", drive_writes, trunc});
+  }
+  const auto results = bench::ExperimentRunner(jobs).run(cells);
+
+  TextTable table;
+  table.header({"trace", "acc (seq=8)", "acc (seq=1)", "drop"});
+  double sum_drop = 0.0, max_drop = 0.0;
+  const std::size_t count = cells.size() / 2;
+
+  for (std::size_t i = 0; i < results.size(); i += 2) {
+    const auto& full = results[i];
+    const auto& trunc = results[i + 1];
     const double drop =
         full.classifier.accuracy() - trunc.classifier.accuracy();
     sum_drop += drop;
     max_drop = std::max(max_drop, drop);
-    ++count;
-    table.row({spec.id, TextTable::num(full.classifier.accuracy()),
+    table.row({full.trace_id, TextTable::num(full.classifier.accuracy()),
                TextTable::num(trunc.classifier.accuracy()),
                TextTable::num(drop * 100.0, 1) + "pp"});
-    std::fflush(stdout);
   }
   table.render(std::cout);
 

@@ -6,8 +6,14 @@
 //     cannot follow the workload when the hot set rotates.
 //  2. GC victim policy (Eq. 1): Adjusted Greedy vs plain Greedy vs
 //     Cost-Benefit, on representative traces.
+//
+// Cells use custom PhftlConfigs, so they run on the thread pool directly
+// (not through ExperimentRunner); each cell owns its trace and FTL and
+// results join in grid order, so output is identical under any --jobs N.
 #include <cstdio>
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
@@ -27,55 +33,82 @@ core::PhftlConfig ablation_config(const FtlConfig& cfg, bool adaptive) {
   return pcfg;
 }
 
+struct CellResult {
+  double wa = 0.0;
+  double acc = 0.0;
+};
+
+CellResult run_cell(const SuiteTraceSpec& spec, double drive_writes,
+                    core::PhftlConfig pcfg) {
+  const Trace trace = make_suite_trace(spec, drive_writes);
+  core::PhftlFtl ftl(pcfg);
+  for (const auto& r : trace.ops) ftl.submit(r);
+  ftl.finalize_evaluation();
+  return {ftl.stats().write_amplification(),
+          ftl.classifier_metrics().accuracy()};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = phftl::bench::jobs_from_cli(argc, argv);
   const double drive_writes = drive_writes_from_env(6.0);
+  phftl::util::ThreadPool pool(jobs);
 
   // --- Part 1: adaptive vs frozen threshold on phase-shift traces ---
   std::printf("Ablation 1: adaptive threshold (Algorithm 1) vs frozen "
-              "threshold,\nphase-shifting traces, %.1f drive writes\n\n",
-              drive_writes);
+              "threshold,\nphase-shifting traces, %.1f drive writes, "
+              "%u job(s)\n\n", drive_writes, jobs);
+  const std::vector<const char*> phase_ids = {"#107", "#225", "#748"};
+  std::vector<std::future<CellResult>> part1;
+  for (const char* id : phase_ids) {
+    const auto& spec = suite_spec(id);
+    for (int mode = 0; mode < 2; ++mode)
+      part1.push_back(pool.submit([&spec, drive_writes, mode] {
+        return run_cell(spec, drive_writes,
+                        ablation_config(suite_ftl_config(spec), mode == 0));
+      }));
+  }
+
+  // --- Part 2: GC policy ablation (queued before part 1's join so the
+  // pool stays busy across both tables) ---
+  const std::vector<const char*> gc_ids = {"#52", "#141", "#144", "#721"};
+  const std::vector<core::PhftlConfig::GcPolicy> policies = {
+      core::PhftlConfig::GcPolicy::kAdjustedGreedy,
+      core::PhftlConfig::GcPolicy::kGreedy,
+      core::PhftlConfig::GcPolicy::kCostBenefit};
+  std::vector<std::future<CellResult>> part2;
+  for (const char* id : gc_ids) {
+    const auto& spec = suite_spec(id);
+    for (const auto policy : policies)
+      part2.push_back(pool.submit([&spec, drive_writes, policy] {
+        core::PhftlConfig pcfg =
+            core::default_phftl_config(suite_ftl_config(spec));
+        pcfg.gc_policy = policy;
+        return run_cell(spec, drive_writes, pcfg);
+      }));
+  }
+
   TextTable t1;
   t1.header({"trace", "WA adaptive", "WA frozen", "acc adaptive",
              "acc frozen"});
-  for (const char* id : {"#107", "#225", "#748"}) {
-    const auto& spec = suite_spec(id);
-    const Trace trace = make_suite_trace(spec, drive_writes);
-    double wa[2], acc[2];
-    for (int mode = 0; mode < 2; ++mode) {
-      core::PhftlFtl ftl(ablation_config(suite_ftl_config(spec), mode == 0));
-      for (const auto& r : trace.ops) ftl.submit(r);
-      ftl.finalize_evaluation();
-      wa[mode] = ftl.stats().write_amplification();
-      acc[mode] = ftl.classifier_metrics().accuracy();
-    }
-    t1.row({id, TextTable::pct(wa[0]), TextTable::pct(wa[1]),
-            TextTable::num(acc[0]), TextTable::num(acc[1])});
-    std::fflush(stdout);
+  for (std::size_t i = 0; i < phase_ids.size(); ++i) {
+    const CellResult adaptive = part1[2 * i].get();
+    const CellResult frozen = part1[2 * i + 1].get();
+    t1.row({phase_ids[i], TextTable::pct(adaptive.wa),
+            TextTable::pct(frozen.wa), TextTable::num(adaptive.acc),
+            TextTable::num(frozen.acc)});
   }
   t1.render(std::cout);
 
-  // --- Part 2: GC policy ablation ---
   std::printf("\nAblation 2: GC victim policy (Eq. 1), %.1f drive writes\n\n",
               drive_writes);
   TextTable t2;
   t2.header({"trace", "AdjustedGreedy", "Greedy", "CostBenefit"});
-  for (const char* id : {"#52", "#141", "#144", "#721"}) {
-    const auto& spec = suite_spec(id);
-    const Trace trace = make_suite_trace(spec, drive_writes);
-    std::vector<std::string> row{id};
-    for (const auto policy : {core::PhftlConfig::GcPolicy::kAdjustedGreedy,
-                              core::PhftlConfig::GcPolicy::kGreedy,
-                              core::PhftlConfig::GcPolicy::kCostBenefit}) {
-      core::PhftlConfig pcfg =
-          core::default_phftl_config(suite_ftl_config(spec));
-      pcfg.gc_policy = policy;
-      core::PhftlFtl ftl(pcfg);
-      for (const auto& r : trace.ops) ftl.submit(r);
-      row.push_back(TextTable::pct(ftl.stats().write_amplification()));
-      std::fflush(stdout);
-    }
+  for (std::size_t i = 0; i < gc_ids.size(); ++i) {
+    std::vector<std::string> row{gc_ids[i]};
+    for (std::size_t p = 0; p < policies.size(); ++p)
+      row.push_back(TextTable::pct(part2[i * policies.size() + p].get().wa));
     t2.row(row);
   }
   t2.render(std::cout);

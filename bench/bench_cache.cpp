@@ -12,21 +12,27 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phftl;
-  using bench::run_suite_trace;
 
+  const unsigned jobs = bench::jobs_from_cli(argc, argv);
   const double drive_writes = drive_writes_from_env(6.0);
   std::printf("Metadata cache effectiveness (1%% of meta pages in RAM), "
-              "%.1f drive writes\n\n", drive_writes);
+              "%.1f drive writes, %u job(s)\n\n", drive_writes, jobs);
+
+  std::vector<bench::GridCell> cells;
+  for (const auto& spec : alibaba_suite())
+    cells.push_back({&spec, "PHFTL", drive_writes, {}});
+  const auto results = bench::ExperimentRunner(jobs).run(cells);
 
   TextTable table;
   table.header({"trace", "cache hit rate", "meta flash reads",
                 "per 1k host writes", "cache RAM"});
   double min_hit = 1.0, max_hit = 0.0, sum_hit = 0.0;
 
+  std::size_t i = 0;
   for (const auto& spec : alibaba_suite()) {
-    const auto res = run_suite_trace(spec, "PHFTL", drive_writes);
+    const auto& res = results[i++];
     const double hit = res.cache_hit_rate;
     min_hit = std::min(min_hit, hit);
     max_hit = std::max(max_hit, hit);
@@ -44,7 +50,6 @@ int main() {
                TextTable::num(per_k, 2),
                TextTable::num(static_cast<double>(meta.cache_capacity_bytes()) /
                                   1024.0, 0) + " KiB"});
-    std::fflush(stdout);
   }
   table.render(std::cout);
 

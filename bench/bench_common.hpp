@@ -1,9 +1,24 @@
 // Shared runner for the trace-suite benchmarks (Fig. 5, Table I, cache).
+//
+// Every suite benchmark replays a (scheme × trace × config) grid of fully
+// independent runs. ExperimentRunner executes that grid on a fixed-size
+// thread pool (`--jobs N` / PHFTL_JOBS; default serial) — each run owns its
+// FTL, FlashArray, RNG, and obs::MetricsRegistry/TraceRecorder, so workers
+// share nothing — and returns results in *grid order* regardless of which
+// run finishes first. The merged ${PHFTL_METRICS_DIR}/BENCH_metrics.json is
+// likewise appended in grid order, and runner-executed PHFTL runs disable
+// wall-clock prediction timing (the one non-simulated metric), so the
+// artifact is byte-identical between serial and parallel execution
+// (tests/test_runner.cpp holds this property under TSan in CI).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "baselines/base_ftl.hpp"
 #include "baselines/sepbit.hpp"
@@ -11,17 +26,20 @@
 #include "core/phftl.hpp"
 #include "obs/observability.hpp"
 #include "trace/alibaba_suite.hpp"
+#include "util/thread_pool.hpp"
 
 namespace phftl::bench {
 
 namespace detail {
 
-/// Process-global metrics artifact. Every run_suite_trace call appends one
-/// entry; a single `${PHFTL_METRICS_DIR}/BENCH_metrics.json` is flushed when
-/// the bench binary exits. One artifact per binary (schema
+/// Process-global metrics artifact. Every recorded run appends one entry; a
+/// single `${PHFTL_METRICS_DIR}/BENCH_metrics.json` is flushed when the
+/// bench binary exits. One artifact per binary (schema
 /// "phftl-bench-metrics/1", documented in docs/EXPERIMENTS.md) lets perf PRs
 /// diff full metric sets across commits instead of collecting a directory of
-/// per-run side files.
+/// per-run side files. add() is serialized by a mutex; ExperimentRunner
+/// additionally calls it only after joining its futures, in grid order, so
+/// the artifact layout is deterministic under any job count.
 class MetricsArtifact {
  public:
   static MetricsArtifact& instance() {
@@ -37,6 +55,7 @@ class MetricsArtifact {
     while (!metrics_json.empty() &&
            (metrics_json.back() == '\n' || metrics_json.back() == ' '))
       metrics_json.pop_back();
+    std::lock_guard<std::mutex> lock(mu_);
     if (!runs_.empty()) runs_ += ",\n";
     runs_ += "    {\"trace\": \"" + trace_id + "\", \"scheme\": \"" + scheme +
              "\", \"drive_writes\": " + std::to_string(drive_writes) +
@@ -56,6 +75,7 @@ class MetricsArtifact {
                              runs_ + "\n  ]\n}\n");
   }
 
+  std::mutex mu_;
   std::string dir_;
   std::string runs_;
 };
@@ -72,28 +92,50 @@ struct SuiteRunResult {
   double cache_hit_rate = 0.0;
   std::int64_t threshold = -1;
   std::uint64_t windows = 0;
+  /// Full metrics_to_json dump (captured only when the artifact is enabled
+  /// or the caller asked for it; empty otherwise).
+  std::string metrics_json;
+};
+
+/// Per-run knobs threaded through run_suite_trace.
+struct RunOptions {
+  std::uint32_t history_len = 8;  ///< PHFTL feature-sequence length
+  /// Record wall-clock prediction latency (PHFTL). The runner disables it
+  /// so merged artifacts are reproducible — see PhftlConfig.
+  bool time_predictions = true;
+  /// Append this run to the process-global MetricsArtifact from inside
+  /// run_suite_trace. The runner sets false and appends after the join, in
+  /// grid order.
+  bool record_artifact = true;
+  /// Capture metrics_to_json into SuiteRunResult::metrics_json even when
+  /// the artifact is disabled (the determinism test compares these).
+  bool capture_metrics = false;
 };
 
 inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
                                             const FtlConfig& cfg,
-                                            std::uint32_t history_len = 8) {
+                                            std::uint32_t history_len = 8,
+                                            bool time_predictions = true) {
   if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
   if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
   if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
   core::PhftlConfig pcfg = core::default_phftl_config(cfg);
   pcfg.trainer.history_len = history_len;
+  pcfg.time_predictions = time_predictions;
   return std::make_unique<core::PhftlFtl>(pcfg);
 }
 
 /// Replay one suite trace under one scheme and collect everything the
-/// benchmarks report.
+/// benchmarks report. Self-contained: builds its own trace, FTL, and
+/// observability state, so concurrent calls never share mutable state.
 inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
                                       const std::string& scheme,
                                       double drive_writes,
-                                      std::uint32_t history_len = 8) {
+                                      const RunOptions& opts) {
   const FtlConfig cfg = suite_ftl_config(spec);
   const Trace trace = make_suite_trace(spec, drive_writes);
-  auto ftl = make_scheme(scheme, cfg, history_len);
+  auto ftl =
+      make_scheme(scheme, cfg, opts.history_len, opts.time_predictions);
   for (const auto& req : trace.ops) ftl->submit(req);
 
   SuiteRunResult res;
@@ -112,12 +154,96 @@ inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
   // With PHFTL_METRICS_DIR set, every run's full metric dump is embedded in
   // a single <dir>/BENCH_metrics.json artifact flushed at process exit
   // (schema "phftl-bench-metrics/1" — docs/EXPERIMENTS.md).
-  if (auto& artifact = detail::MetricsArtifact::instance(); artifact.enabled()) {
+  auto& artifact = detail::MetricsArtifact::instance();
+  if (artifact.enabled() || opts.capture_metrics) {
     ftl->refresh_observability();
-    artifact.add(spec.id, scheme, drive_writes,
-                 obs::metrics_to_json(ftl->observability()));
+    res.metrics_json = obs::metrics_to_json(ftl->observability());
+    if (artifact.enabled() && opts.record_artifact)
+      artifact.add(spec.id, scheme, drive_writes, res.metrics_json);
   }
   return res;
+}
+
+/// Back-compat convenience overload (serial callers).
+inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
+                                      const std::string& scheme,
+                                      double drive_writes,
+                                      std::uint32_t history_len = 8) {
+  RunOptions opts;
+  opts.history_len = history_len;
+  return run_suite_trace(spec, scheme, drive_writes, opts);
+}
+
+/// One cell of a benchmark grid.
+struct GridCell {
+  const SuiteTraceSpec* spec = nullptr;
+  std::string scheme;
+  double drive_writes = 0.0;
+  RunOptions opts;
+};
+
+/// Executes a (scheme × trace × config) grid on a thread pool and merges
+/// the results deterministically.
+class ExperimentRunner {
+ public:
+  /// `jobs` as resolved by util::resolve_jobs (1 = serial; still runs
+  /// through the same code path so serial and parallel outputs match).
+  explicit ExperimentRunner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Run every cell, concurrently when jobs() > 1, and return results in
+  /// cell order. Artifact entries are appended in cell order after all
+  /// runs complete, so BENCH_metrics.json is byte-identical to a serial
+  /// run. Exceptions from a run propagate out of this call.
+  std::vector<SuiteRunResult> run(const std::vector<GridCell>& cells) const {
+    std::vector<SuiteRunResult> results;
+    results.reserve(cells.size());
+
+    util::ThreadPool pool(jobs_);
+    std::vector<std::future<SuiteRunResult>> futures;
+    futures.reserve(cells.size());
+    for (const GridCell& cell : cells) {
+      futures.push_back(pool.submit([&cell] {
+        RunOptions opts = cell.opts;
+        // Per-run registries are merged after the join; wall-clock predict
+        // timing is the one non-reproducible metric, so it is off here.
+        opts.record_artifact = false;
+        opts.time_predictions = false;
+        return run_suite_trace(*cell.spec, cell.scheme, cell.drive_writes,
+                               opts);
+      }));
+    }
+    for (auto& fut : futures) results.push_back(fut.get());
+
+    auto& artifact = detail::MetricsArtifact::instance();
+    if (artifact.enabled()) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        artifact.add(results[i].trace_id, results[i].scheme,
+                     cells[i].drive_writes, results[i].metrics_json);
+    }
+    return results;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+/// Shared CLI handling: every suite bench accepts `--jobs N` (overriding
+/// PHFTL_JOBS). Unknown arguments abort with a usage line.
+inline unsigned jobs_from_cli(int argc, char** argv) {
+  long cli = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      cli = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]  (or PHFTL_JOBS=N)\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return util::resolve_jobs(cli);
 }
 
 }  // namespace phftl::bench

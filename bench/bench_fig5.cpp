@@ -7,7 +7,9 @@
 // 22.8–54.6 % vs the rule-based schemes.
 //
 // Runtime is controlled by PHFTL_DRIVE_WRITES (default 6; the paper replays
-// 20 drive writes — set PHFTL_DRIVE_WRITES=20 for the full-fidelity run).
+// 20 drive writes — set PHFTL_DRIVE_WRITES=20 for the full-fidelity run) and
+// by `--jobs N` / PHFTL_JOBS (each trace×scheme cell is an independent run;
+// output and artifacts are identical under any job count).
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -15,35 +17,40 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phftl;
-  using bench::run_suite_trace;
 
+  const unsigned jobs = bench::jobs_from_cli(argc, argv);
   const double drive_writes = drive_writes_from_env(6.0);
   const std::vector<std::string> schemes = {"Base", "2R", "SepBIT", "PHFTL"};
 
   std::printf("Figure 5: overall write amplification, %.1f drive writes "
-              "(paper: 20; set PHFTL_DRIVE_WRITES to change)\n\n",
-              drive_writes);
+              "(paper: 20; set PHFTL_DRIVE_WRITES to change), %u job(s)\n\n",
+              drive_writes, jobs);
+
+  std::vector<bench::GridCell> cells;
+  for (const auto& spec : alibaba_suite())
+    for (const auto& scheme : schemes)
+      cells.push_back({&spec, scheme, drive_writes, {}});
+  const auto results = bench::ExperimentRunner(jobs).run(cells);
 
   TextTable table;
   table.header({"trace", "size", "Base", "2R", "SepBIT", "PHFTL",
                 "PHFTL vs Base"});
   std::vector<double> sums(schemes.size(), 0.0);
 
+  std::size_t i = 0;
   for (const auto& spec : alibaba_suite()) {
     std::vector<double> wa(schemes.size());
-    for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const auto res = run_suite_trace(spec, schemes[s], drive_writes);
-      wa[s] = res.wa;
-      sums[s] += res.wa;
+    for (std::size_t s = 0; s < schemes.size(); ++s, ++i) {
+      wa[s] = results[i].wa;
+      sums[s] += results[i].wa;
     }
     const double reduction =
         wa[0] > 0.0 ? (1.0 - wa[3] / wa[0]) * 100.0 : 0.0;
     table.row({spec.id, spec.size_label, TextTable::pct(wa[0]),
                TextTable::pct(wa[1]), TextTable::pct(wa[2]),
                TextTable::pct(wa[3]), TextTable::num(reduction, 1) + "%"});
-    std::fflush(stdout);
   }
 
   // Normalized average (Fig. 5 rightmost group): mean WA over traces,

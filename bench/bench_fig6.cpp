@@ -9,51 +9,80 @@
 //   PHFTL-hw         — interleaved prediction + decoupled completion.
 // Paper: sync inflates latency 139.7% on average; async returns it to stock
 // levels with a slightly higher standard deviation.
+//
+// Each request-size point owns its three seeded ControllerModels, so
+// `--jobs N` runs the points concurrently with identical output.
 #include <cstdio>
+#include <future>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "device/controller.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace phftl;
+namespace {
 
+using namespace phftl;
+
+struct SizePoint {
+  double mean[3], sd[3];
+  double inflation;
+};
+
+SizePoint run_size(std::uint32_t kb, int requests) {
+  RunningStats stats[3];
+  const PredictionMode modes[] = {PredictionMode::kStock,
+                                  PredictionMode::kSync,
+                                  PredictionMode::kAsync};
+  for (int m = 0; m < 3; ++m) {
+    ControllerConfig cfg;
+    cfg.mode = modes[m];
+    ControllerModel model(cfg, /*seed=*/kb * 7 + m);
+    for (int i = 0; i < requests; ++i)
+      stats[m].add(static_cast<double>(model.write_latency_ns(kb)) * 1e-3);
+  }
+  SizePoint p;
+  for (int m = 0; m < 3; ++m) {
+    p.mean[m] = stats[m].mean();
+    p.sd[m] = stats[m].stddev();
+  }
+  p.inflation = stats[1].mean() / stats[0].mean() - 1.0;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = phftl::bench::jobs_from_cli(argc, argv);
   constexpr int kRequests = 20000;
-  const std::uint32_t sizes_kb[] = {4, 16, 64, 256, 1024};
+  const std::vector<std::uint32_t> sizes_kb = {4, 16, 64, 256, 1024};
 
   std::printf("Figure 6: write latency vs request size (buffered writes, "
               "%d requests per point)\n\n", kRequests);
 
+  util::ThreadPool pool(jobs);
+  std::vector<std::future<SizePoint>> points;
+  for (const std::uint32_t kb : sizes_kb)
+    points.push_back(pool.submit([kb] { return run_size(kb, kRequests); }));
+
   TextTable table;
   table.header({"size", "Stock (us)", "sd", "PHFTL-sync (us)", "sd",
                 "PHFTL (us)", "sd", "sync inflation"});
-
   double inflation_sum = 0.0;
-  for (const std::uint32_t kb : sizes_kb) {
-    RunningStats stats[3];
-    const PredictionMode modes[] = {PredictionMode::kStock,
-                                    PredictionMode::kSync,
-                                    PredictionMode::kAsync};
-    for (int m = 0; m < 3; ++m) {
-      ControllerConfig cfg;
-      cfg.mode = modes[m];
-      ControllerModel model(cfg, /*seed=*/kb * 7 + m);
-      for (int i = 0; i < kRequests; ++i)
-        stats[m].add(static_cast<double>(model.write_latency_ns(kb)) * 1e-3);
-    }
-    const double inflation = stats[1].mean() / stats[0].mean() - 1.0;
-    inflation_sum += inflation;
+  for (std::size_t i = 0; i < sizes_kb.size(); ++i) {
+    const std::uint32_t kb = sizes_kb[i];
+    const SizePoint p = points[i].get();
+    inflation_sum += p.inflation;
     const std::string label = kb >= 1024
                                   ? std::to_string(kb / 1024) + "MB"
                                   : std::to_string(kb) + "KB";
-    table.row({label, TextTable::num(stats[0].mean(), 1),
-               TextTable::num(stats[0].stddev(), 2),
-               TextTable::num(stats[1].mean(), 1),
-               TextTable::num(stats[1].stddev(), 2),
-               TextTable::num(stats[2].mean(), 1),
-               TextTable::num(stats[2].stddev(), 2),
-               TextTable::num(inflation * 100.0, 1) + "%"});
+    table.row({label, TextTable::num(p.mean[0], 1),
+               TextTable::num(p.sd[0], 2), TextTable::num(p.mean[1], 1),
+               TextTable::num(p.sd[1], 2), TextTable::num(p.mean[2], 1),
+               TextTable::num(p.sd[2], 2),
+               TextTable::num(p.inflation * 100.0, 1) + "%"});
   }
   table.render(std::cout);
 

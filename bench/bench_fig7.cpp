@@ -10,11 +10,20 @@
 //   Phase 2: replay the trace tail by timestamp and report the latency
 //            distribution. Tail latencies drop with GC pressure (paper:
 //            -16.2% / -53.0% average latency).
+//
+// Within a trace the two schemes are sequential (PHFTL-hw's phase-2 arrival
+// scale is derived from Stock's aged service rate), so `--jobs` parallelizes
+// across traces: each trace runs as one task that buffers its report, and
+// the reports print in trace order.
 #include <cstdio>
+#include <future>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <vector>
 
 #include "baselines/base_ftl.hpp"
+#include "bench_common.hpp"
 #include "core/phftl.hpp"
 #include "device/replayer.hpp"
 #include "trace/alibaba_suite.hpp"
@@ -37,113 +46,132 @@ DeviceTimingConfig timing_for(const std::string& scheme) {
   return t;
 }
 
-}  // namespace
+std::string run_trace(const char* trace_id, double drive_writes) {
+  std::ostringstream out;
+  char buf[256];
 
-int main() {
-  const double drive_writes = drive_writes_from_env(6.0);
+  const auto& spec = suite_spec(trace_id);
+  const FtlConfig cfg = suite_ftl_config(spec);
+  const Trace trace = make_suite_trace(spec, drive_writes);
+  const auto segment = static_cast<std::uint64_t>(
+      static_cast<double>(trace.total_write_pages()) / drive_writes);
 
-  for (const char* trace_id : {"#52", "#144"}) {
-    const auto& spec = suite_spec(trace_id);
-    const FtlConfig cfg = suite_ftl_config(spec);
-    const Trace trace = make_suite_trace(spec, drive_writes);
-    const auto segment = static_cast<std::uint64_t>(
-        static_cast<double>(trace.total_write_pages()) / drive_writes);
-
-    std::printf("=== Trace %s (%s, %.1f drive writes) ===\n", trace_id,
+  std::snprintf(buf, sizeof(buf),
+                "=== Trace %s (%s, %.1f drive writes) ===\n", trace_id,
                 trace_id == std::string("#52") ? "low WA" : "high WA",
                 drive_writes);
+  out << buf;
 
-    // --- Phase 1: stress load, bandwidth per drive write ---
-    TextTable bw;
-    std::vector<std::string> header{"scheme"};
-    for (std::uint64_t d = 1; d <= static_cast<std::uint64_t>(drive_writes);
-         ++d)
-      header.push_back("DW" + std::to_string(d) + " MB/s");
-    header.push_back("WA");
-    bw.header(header);
+  // --- Phase 1: stress load, bandwidth per drive write ---
+  TextTable bw;
+  std::vector<std::string> header{"scheme"};
+  for (std::uint64_t d = 1; d <= static_cast<std::uint64_t>(drive_writes);
+       ++d)
+    header.push_back("DW" + std::to_string(d) + " MB/s");
+  header.push_back("WA");
+  bw.header(header);
 
-    double last_bw[2] = {0, 0};
-    int idx = 0;
-    for (const char* scheme : {"Stock", "PHFTL-hw"}) {
-      auto ftl = make_device_ftl(scheme, cfg);
-      TimedReplayer replayer(*ftl, timing_for(scheme));
-      const Phase1Result res = replayer.stress_load(trace, segment);
-      std::vector<std::string> row{scheme};
-      for (double b : res.bandwidth_mb_s)
-        row.push_back(TextTable::num(b, 0));
-      row.push_back(TextTable::pct(ftl->stats().write_amplification()));
-      bw.row(row);
-      last_bw[idx++] = res.final_bandwidth_mb_s;
-    }
-    std::printf("Phase 1 (stress load):\n");
-    bw.render(std::cout);
-    std::printf("Last-drive-write bandwidth: PHFTL-hw %+.1f%% vs Stock\n\n",
-                (last_bw[1] / last_bw[0] - 1.0) * 100.0);
-
-    // --- Phase 2: timestamped replay of the trace tail ---
-    // Replay the last ~10% of the trace by timestamp (the paper replays the
-    // last hour) on a device already aged by the stress phase.
-    const std::size_t tail_start = trace.ops.size() * 9 / 10;
-    Trace tail;
-    tail.name = trace.name;
-    tail.logical_pages = trace.logical_pages;
-    tail.ops.assign(trace.ops.begin() + static_cast<std::ptrdiff_t>(tail_start),
-                    trace.ops.end());
-    // Rebase tail timestamps to zero.
-    const std::uint64_t t0 = tail.ops.front().timestamp_us;
-    for (auto& op : tail.ops) op.timestamp_us -= t0;
-    const double tail_duration_ns =
-        static_cast<double>(tail.ops.back().timestamp_us) * 1000.0;
-
-    TextTable lat;
-    lat.header({"scheme", "P50 us", "P90 us", "P99 us", "P99.5 us",
-                "P99.9 us", "Avg us"});
-    double avg[2] = {0, 0};
-    idx = 0;
-    for (const char* scheme : {"Stock", "PHFTL-hw"}) {
-      auto ftl = make_device_ftl(scheme, cfg);
-      TimedReplayer replayer(*ftl, timing_for(scheme));
-      // Age the device first (phase 1 portion), then measure the tail.
-      Trace head;
-      head.name = trace.name;
-      head.logical_pages = trace.logical_pages;
-      head.ops.assign(trace.ops.begin(),
-                      trace.ops.begin() + static_cast<std::ptrdiff_t>(tail_start));
-      const Phase1Result aged = replayer.stress_load(head, segment);
-      // Scale arrivals so the offered load sits at ~65% of the *stock*
-      // device's aged service rate: the open-loop replay must not saturate
-      // the device, and both schemes must see identical arrival times
-      // (the paper replays wall-clock timestamps). We key the scale off the
-      // head portion's measured service time per trace op.
-      static double time_scale = 1.0;
-      if (scheme == std::string("Stock")) {
-        const double service_per_op =
-            static_cast<double>(aged.total_sim_ns) /
-            static_cast<double>(head.ops.size());
-        // The head average understates the aged device's cost; correct by
-        // the measured first-to-last drive-write slowdown.
-        const double slowdown =
-            aged.bandwidth_mb_s.size() >= 2 && aged.bandwidth_mb_s.back() > 0
-                ? aged.bandwidth_mb_s.front() / aged.bandwidth_mb_s.back()
-                : 1.0;
-        const double tail_arrival_per_op =
-            tail_duration_ns / static_cast<double>(tail.ops.size());
-        time_scale = service_per_op * slowdown / (0.65 * tail_arrival_per_op);
-        if (time_scale < 1e-6) time_scale = 1e-6;
-      }
-      const Phase2Result res = replayer.timed_replay(tail, time_scale);
-      lat.row({scheme, TextTable::num(res.p50_us, 1),
-               TextTable::num(res.p90_us, 1), TextTable::num(res.p99_us, 1),
-               TextTable::num(res.p995_us, 1),
-               TextTable::num(res.p999_us, 1),
-               TextTable::num(res.mean_us, 1)});
-      avg[idx++] = res.mean_us;
-    }
-    std::printf("Phase 2 (timestamped replay of trace tail):\n");
-    lat.render(std::cout);
-    std::printf("Average latency: PHFTL-hw %+.1f%% vs Stock\n\n",
-                (avg[1] / avg[0] - 1.0) * 100.0);
+  double last_bw[2] = {0, 0};
+  int idx = 0;
+  for (const char* scheme : {"Stock", "PHFTL-hw"}) {
+    auto ftl = make_device_ftl(scheme, cfg);
+    TimedReplayer replayer(*ftl, timing_for(scheme));
+    const Phase1Result res = replayer.stress_load(trace, segment);
+    std::vector<std::string> row{scheme};
+    for (double b : res.bandwidth_mb_s)
+      row.push_back(TextTable::num(b, 0));
+    row.push_back(TextTable::pct(ftl->stats().write_amplification()));
+    bw.row(row);
+    last_bw[idx++] = res.final_bandwidth_mb_s;
   }
+  out << "Phase 1 (stress load):\n";
+  bw.render(out);
+  std::snprintf(buf, sizeof(buf),
+                "Last-drive-write bandwidth: PHFTL-hw %+.1f%% vs Stock\n\n",
+                (last_bw[1] / last_bw[0] - 1.0) * 100.0);
+  out << buf;
+
+  // --- Phase 2: timestamped replay of the trace tail ---
+  // Replay the last ~10% of the trace by timestamp (the paper replays the
+  // last hour) on a device already aged by the stress phase.
+  const std::size_t tail_start = trace.ops.size() * 9 / 10;
+  Trace tail;
+  tail.name = trace.name;
+  tail.logical_pages = trace.logical_pages;
+  tail.ops.assign(trace.ops.begin() + static_cast<std::ptrdiff_t>(tail_start),
+                  trace.ops.end());
+  // Rebase tail timestamps to zero.
+  const std::uint64_t t0 = tail.ops.front().timestamp_us;
+  for (auto& op : tail.ops) op.timestamp_us -= t0;
+  const double tail_duration_ns =
+      static_cast<double>(tail.ops.back().timestamp_us) * 1000.0;
+
+  TextTable lat;
+  lat.header({"scheme", "P50 us", "P90 us", "P99 us", "P99.5 us",
+              "P99.9 us", "Avg us"});
+  double avg[2] = {0, 0};
+  double time_scale = 1.0;  // set by the Stock run, reused by PHFTL-hw
+  idx = 0;
+  for (const char* scheme : {"Stock", "PHFTL-hw"}) {
+    auto ftl = make_device_ftl(scheme, cfg);
+    TimedReplayer replayer(*ftl, timing_for(scheme));
+    // Age the device first (phase 1 portion), then measure the tail.
+    Trace head;
+    head.name = trace.name;
+    head.logical_pages = trace.logical_pages;
+    head.ops.assign(trace.ops.begin(),
+                    trace.ops.begin() + static_cast<std::ptrdiff_t>(tail_start));
+    const Phase1Result aged = replayer.stress_load(head, segment);
+    // Scale arrivals so the offered load sits at ~65% of the *stock*
+    // device's aged service rate: the open-loop replay must not saturate
+    // the device, and both schemes must see identical arrival times
+    // (the paper replays wall-clock timestamps). We key the scale off the
+    // head portion's measured service time per trace op.
+    if (scheme == std::string("Stock")) {
+      const double service_per_op =
+          static_cast<double>(aged.total_sim_ns) /
+          static_cast<double>(head.ops.size());
+      // The head average understates the aged device's cost; correct by
+      // the measured first-to-last drive-write slowdown.
+      const double slowdown =
+          aged.bandwidth_mb_s.size() >= 2 && aged.bandwidth_mb_s.back() > 0
+              ? aged.bandwidth_mb_s.front() / aged.bandwidth_mb_s.back()
+              : 1.0;
+      const double tail_arrival_per_op =
+          tail_duration_ns / static_cast<double>(tail.ops.size());
+      time_scale = service_per_op * slowdown / (0.65 * tail_arrival_per_op);
+      if (time_scale < 1e-6) time_scale = 1e-6;
+    }
+    const Phase2Result res = replayer.timed_replay(tail, time_scale);
+    lat.row({scheme, TextTable::num(res.p50_us, 1),
+             TextTable::num(res.p90_us, 1), TextTable::num(res.p99_us, 1),
+             TextTable::num(res.p995_us, 1),
+             TextTable::num(res.p999_us, 1),
+             TextTable::num(res.mean_us, 1)});
+    avg[idx++] = res.mean_us;
+  }
+  out << "Phase 2 (timestamped replay of trace tail):\n";
+  lat.render(out);
+  std::snprintf(buf, sizeof(buf),
+                "Average latency: PHFTL-hw %+.1f%% vs Stock\n\n",
+                (avg[1] / avg[0] - 1.0) * 100.0);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned jobs = phftl::bench::jobs_from_cli(argc, argv);
+  const double drive_writes = drive_writes_from_env(6.0);
+
+  phftl::util::ThreadPool pool(jobs);
+  std::vector<std::future<std::string>> reports;
+  for (const char* trace_id : {"#52", "#144"})
+    reports.push_back(pool.submit([trace_id, drive_writes] {
+      return run_trace(trace_id, drive_writes);
+    }));
+  for (auto& report : reports) std::fputs(report.get().c_str(), stdout);
 
   std::printf(
       "Paper: last-drive-write bandwidth +12.1%% (#52) and +61.6%% (#144); "

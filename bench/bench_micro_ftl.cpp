@@ -110,6 +110,69 @@ void BM_MetaCacheSequentialLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_MetaCacheSequentialLookup);
 
+// --- Flat open-addressed cache vs the tree+list reference ---
+//
+// The retained ReferenceMetaCache (std::map index + std::list LRU) is the
+// pre-optimization implementation; these pairs quantify the fast path the
+// flat cache buys. "MissHeavy" is the expensive pattern — every access
+// allocates a map/list node in the reference version, while the flat cache
+// recycles fixed slab slots and never allocates after reset().
+
+template <typename Cache>
+void cache_miss_heavy(benchmark::State& state) {
+  Cache cache(1024);
+  Xoshiro256 rng(4);
+  constexpr std::uint64_t kKeySpace = 1 << 20;  // >> capacity: ~all misses
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(rng.next_below(kKeySpace)));
+}
+
+template <typename Cache>
+void cache_hit_heavy(benchmark::State& state) {
+  Cache cache(1024);
+  Xoshiro256 rng(5);
+  for (std::uint64_t k = 0; k < 1024; ++k) cache.access(k);  // warm
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(rng.next_below(1024)));
+}
+
+template <typename Cache>
+void cache_erase_reinsert(benchmark::State& state) {
+  Cache cache(1024);
+  Xoshiro256 rng(6);
+  for (std::uint64_t k = 0; k < 1024; ++k) cache.access(k);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.next_below(1024);
+    cache.erase(k);
+    benchmark::DoNotOptimize(cache.access(k));
+  }
+}
+
+void BM_FlatCacheMissHeavy(benchmark::State& s) {
+  cache_miss_heavy<core::FlatMetaCache>(s);
+}
+void BM_ReferenceCacheMissHeavy(benchmark::State& s) {
+  cache_miss_heavy<core::ReferenceMetaCache>(s);
+}
+void BM_FlatCacheHitHeavy(benchmark::State& s) {
+  cache_hit_heavy<core::FlatMetaCache>(s);
+}
+void BM_ReferenceCacheHitHeavy(benchmark::State& s) {
+  cache_hit_heavy<core::ReferenceMetaCache>(s);
+}
+void BM_FlatCacheEraseReinsert(benchmark::State& s) {
+  cache_erase_reinsert<core::FlatMetaCache>(s);
+}
+void BM_ReferenceCacheEraseReinsert(benchmark::State& s) {
+  cache_erase_reinsert<core::ReferenceMetaCache>(s);
+}
+BENCHMARK(BM_FlatCacheMissHeavy);
+BENCHMARK(BM_ReferenceCacheMissHeavy);
+BENCHMARK(BM_FlatCacheHitHeavy);
+BENCHMARK(BM_ReferenceCacheHitHeavy);
+BENCHMARK(BM_FlatCacheEraseReinsert);
+BENCHMARK(BM_ReferenceCacheEraseReinsert);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -12,22 +12,28 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phftl;
-  using bench::run_suite_trace;
 
+  const unsigned jobs = bench::jobs_from_cli(argc, argv);
   const double drive_writes = drive_writes_from_env(6.0);
-  std::printf("Table I: Page Classifier performance, %.1f drive writes\n\n",
-              drive_writes);
+  std::printf(
+      "Table I: Page Classifier performance, %.1f drive writes, %u job(s)\n\n",
+      drive_writes, jobs);
+
+  std::vector<bench::GridCell> cells;
+  for (const auto& spec : alibaba_suite())
+    cells.push_back({&spec, "PHFTL", drive_writes, {}});
+  const auto results = bench::ExperimentRunner(jobs).run(cells);
 
   TextTable table;
   table.header({"trace", "size", "accuracy", "precision", "recall", "F1",
                 "predictions"});
   double sum_acc = 0, sum_p = 0, sum_r = 0, sum_f1 = 0;
 
+  std::size_t i = 0;
   for (const auto& spec : alibaba_suite()) {
-    const auto res = run_suite_trace(spec, "PHFTL", drive_writes);
-    const auto& cm = res.classifier;
+    const auto& cm = results[i++].classifier;
     table.row({spec.id, spec.size_label, TextTable::num(cm.accuracy()),
                TextTable::num(cm.precision()), TextTable::num(cm.recall()),
                TextTable::num(cm.f1()), std::to_string(cm.total())});
@@ -35,7 +41,6 @@ int main() {
     sum_p += cm.precision();
     sum_r += cm.recall();
     sum_f1 += cm.f1();
-    std::fflush(stdout);
   }
   const double n = static_cast<double>(alibaba_suite().size());
   table.row({"Average", "-", TextTable::num(sum_acc / n),

@@ -19,13 +19,20 @@
 // try_write_page() and treats kEnospc as a clean skip (the page is simply
 // not acknowledged), never as a failure.
 //
+// Every (scheme, cut) cell is an independent drive + workload, so `--jobs N`
+// runs them concurrently: all cut indices are pre-drawn from the seed RNG in
+// the serial order, each cell buffers its report, and reports print in
+// (scheme, cut) order — output is identical under any job count.
+//
 // Usage:
 //   crash_lab [--scheme Base|2R|SepBIT|PHFTL|all] [--cuts N] [--seed S]
-//             [--program-fail-prob p] [--erase-fail-prob p]
+//             [--jobs N] [--program-fail-prob p] [--erase-fail-prob p]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,7 @@
 #include "core/phftl.hpp"
 #include "flash/fault_injector.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace phftl;
 
@@ -105,36 +113,43 @@ std::vector<WorkloadOp> make_workload(std::uint64_t logical_pages,
 /// Verify every trimmed-and-not-rewritten page is still unmapped. Returns
 /// the number of resurrected pages (0 = the trim journal held).
 std::uint64_t verify_trimmed(FtlBase& ftl,
-                             const std::vector<std::uint8_t>& trimmed) {
+                             const std::vector<std::uint8_t>& trimmed,
+                             std::ostringstream& out) {
   std::uint64_t bad = 0;
   for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
     if (!trimmed[lpn] || !ftl.is_mapped(lpn)) continue;
     if (++bad <= 5)
-      std::fprintf(stderr, "  RESURRECTED trimmed lpn %llu\n",
-                   static_cast<unsigned long long>(lpn));
+      out << "  RESURRECTED trimmed lpn " << lpn << "\n";
   }
   return bad;
 }
 
 /// Verify every acknowledged page reads back its payload. Returns the
 /// number of violations (0 = contract holds).
-std::uint64_t verify(FtlBase& ftl, const std::vector<std::uint8_t>& acked) {
+std::uint64_t verify(FtlBase& ftl, const std::vector<std::uint8_t>& acked,
+                     std::ostringstream& out) {
   std::uint64_t bad = 0;
   for (Lpn lpn = 0; lpn < ftl.logical_pages(); ++lpn) {
     if (!acked[lpn]) continue;
     if (!ftl.is_mapped(lpn) || ftl.read_page(lpn) != (lpn ^ kPayloadMagic)) {
       if (++bad <= 5)
-        std::fprintf(stderr, "  LOST lpn %llu (mapped=%d)\n",
-                     static_cast<unsigned long long>(lpn),
-                     static_cast<int>(ftl.is_mapped(lpn)));
+        out << "  LOST lpn " << lpn
+            << " (mapped=" << static_cast<int>(ftl.is_mapped(lpn)) << ")\n";
     }
   }
   return bad;
 }
 
-bool run_one_cut(const std::string& scheme, std::uint64_t cut,
-                 std::uint64_t workload_seed, const FaultInjector::Config& fc,
-                 bool with_faults) {
+struct CutOutcome {
+  bool ok = false;
+  std::string report;
+};
+
+CutOutcome run_one_cut(const std::string& scheme, std::uint64_t cut,
+                       std::uint64_t workload_seed,
+                       const FaultInjector::Config& fc, bool with_faults) {
+  std::ostringstream out;
+  char buf[256];
   FtlConfig cfg = lab_config();
   FaultInjector injector(fc);
   if (with_faults) cfg.fault_injector = &injector;
@@ -179,23 +194,25 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
   }
 
   const RecoveryReport rep = ftl->recover();
-  std::uint64_t lost = verify(*ftl, acked);
+  std::uint64_t lost = verify(*ftl, acked, out);
   if (lost > 0) {
-    std::fprintf(stderr,
-                 "%s: cut at %llu: %llu acknowledged pages lost after "
-                 "recovery\n",
-                 scheme.c_str(), static_cast<unsigned long long>(cut),
-                 static_cast<unsigned long long>(lost));
-    return false;
+    std::snprintf(buf, sizeof(buf),
+                  "%s: cut at %llu: %llu acknowledged pages lost after "
+                  "recovery\n",
+                  scheme.c_str(), static_cast<unsigned long long>(cut),
+                  static_cast<unsigned long long>(lost));
+    out << buf;
+    return {false, out.str()};
   }
-  std::uint64_t resurrected = verify_trimmed(*ftl, trimmed);
+  std::uint64_t resurrected = verify_trimmed(*ftl, trimmed, out);
   if (resurrected > 0) {
-    std::fprintf(stderr,
-                 "%s: cut at %llu: %llu trimmed pages resurrected after "
-                 "recovery\n",
-                 scheme.c_str(), static_cast<unsigned long long>(cut),
-                 static_cast<unsigned long long>(resurrected));
-    return false;
+    std::snprintf(buf, sizeof(buf),
+                  "%s: cut at %llu: %llu trimmed pages resurrected after "
+                  "recovery\n",
+                  scheme.c_str(), static_cast<unsigned long long>(cut),
+                  static_cast<unsigned long long>(resurrected));
+    out << buf;
+    return {false, out.str()};
   }
 
   // The drive must keep working: replay the rest of the workload, verify
@@ -220,24 +237,28 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
         break;
     }
   }
-  lost = verify(*ftl, acked);
+  lost = verify(*ftl, acked, out);
   if (lost > 0) {
-    std::fprintf(stderr, "%s: cut at %llu: %llu pages lost after resume\n",
-                 scheme.c_str(), static_cast<unsigned long long>(cut),
-                 static_cast<unsigned long long>(lost));
-    return false;
+    std::snprintf(buf, sizeof(buf),
+                  "%s: cut at %llu: %llu pages lost after resume\n",
+                  scheme.c_str(), static_cast<unsigned long long>(cut),
+                  static_cast<unsigned long long>(lost));
+    out << buf;
+    return {false, out.str()};
   }
-  resurrected = verify_trimmed(*ftl, trimmed);
+  resurrected = verify_trimmed(*ftl, trimmed, out);
   if (resurrected > 0) {
-    std::fprintf(stderr,
-                 "%s: cut at %llu: %llu trimmed pages resurrected after "
-                 "resume\n",
-                 scheme.c_str(), static_cast<unsigned long long>(cut),
-                 static_cast<unsigned long long>(resurrected));
-    return false;
+    std::snprintf(buf, sizeof(buf),
+                  "%s: cut at %llu: %llu trimmed pages resurrected after "
+                  "resume\n",
+                  scheme.c_str(), static_cast<unsigned long long>(cut),
+                  static_cast<unsigned long long>(resurrected));
+    out << buf;
+    return {false, out.str()};
   }
 
-  std::printf(
+  std::snprintf(
+      buf, sizeof(buf),
       "  %-6s cut@%-6llu ok  (%llu OOB scans, %llu mapped, %llu trim "
       "records replayed, %llu open closed, %llu ENOSPC, %.2f ms)\n",
       scheme.c_str(), static_cast<unsigned long long>(cut),
@@ -247,7 +268,8 @@ bool run_one_cut(const std::string& scheme, std::uint64_t cut,
       static_cast<unsigned long long>(rep.open_sbs_closed),
       static_cast<unsigned long long>(enospc),
       static_cast<double>(rep.rebuild_ns) * 1e-6);
-  return true;
+  out << buf;
+  return {true, out.str()};
 }
 
 }  // namespace
@@ -256,6 +278,7 @@ int main(int argc, char** argv) {
   std::string scheme = "all";
   std::uint64_t cuts = 5;
   std::uint64_t seed = 2024;
+  long cli_jobs = -1;
   FaultInjector::Config fc;
   bool with_faults = false;
 
@@ -265,7 +288,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: crash_lab [--scheme <name>|all] [--cuts N] "
-                     "[--seed S] [--program-fail-prob p] "
+                     "[--seed S] [--jobs N] [--program-fail-prob p] "
                      "[--erase-fail-prob p]\n");
         std::exit(2);
       }
@@ -274,6 +297,7 @@ int main(int argc, char** argv) {
     if (arg == "--scheme") scheme = next();
     else if (arg == "--cuts") cuts = std::strtoull(next(), nullptr, 10);
     else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--jobs") cli_jobs = std::strtol(next(), nullptr, 10);
     else if (arg == "--program-fail-prob") {
       fc.program_fail_prob = std::atof(next());
       with_faults = true;
@@ -296,21 +320,45 @@ int main(int argc, char** argv) {
       static_cast<double>(probe.geom.total_pages()) * (1.0 - probe.op_ratio));
   const std::uint64_t total_writes = logical * 3;
 
+  // Pre-draw every cell (the cut RNG is consumed in the same serial order
+  // regardless of --jobs), then run the cells on the pool and print the
+  // buffered reports in (scheme, cut) order.
+  struct Cell {
+    std::string scheme;
+    std::uint64_t cut;
+    std::uint64_t workload_seed;
+  };
   Xoshiro256 cut_rng(seed);
-  bool all_ok = true;
+  std::vector<Cell> cells;
   for (const std::string& s : schemes) {
     if (!make_ftl(s, probe)) {
       std::fprintf(stderr, "unknown scheme %s\n", s.c_str());
       return 2;
     }
-    std::printf("%s: %llu random cuts over %llu writes\n", s.c_str(),
-                static_cast<unsigned long long>(cuts),
-                static_cast<unsigned long long>(total_writes));
-    for (std::uint64_t i = 0; i < cuts; ++i) {
-      const std::uint64_t cut = 1 + cut_rng.next_below(total_writes);
-      all_ok &= run_one_cut(s, cut, /*workload_seed=*/seed ^ (i + 1), fc,
-                            with_faults);
-    }
+    for (std::uint64_t i = 0; i < cuts; ++i)
+      cells.push_back(
+          {s, 1 + cut_rng.next_below(total_writes), seed ^ (i + 1)});
+  }
+
+  util::ThreadPool pool(util::resolve_jobs(cli_jobs));
+  std::vector<std::future<CutOutcome>> runs;
+  runs.reserve(cells.size());
+  for (const Cell& cell : cells)
+    runs.push_back(pool.submit([&cell, &fc, with_faults] {
+      return run_one_cut(cell.scheme, cell.cut, cell.workload_seed, fc,
+                         with_faults);
+    }));
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i % cuts == 0)
+      std::printf("%s: %llu random cuts over %llu writes\n",
+                  cells[i].scheme.c_str(),
+                  static_cast<unsigned long long>(cuts),
+                  static_cast<unsigned long long>(total_writes));
+    const CutOutcome outcome = runs[i].get();
+    std::fputs(outcome.report.c_str(), stdout);
+    all_ok &= outcome.ok;
   }
   std::printf(all_ok ? "\nall cuts recovered: acknowledged data intact, "
                        "trimmed pages stayed unmapped\n"

@@ -2,8 +2,9 @@
 // and report the full statistics panel.
 //
 // Usage:
-//   trace_replay [--scheme Base|2R|SepBIT|PHFTL] [--trace <id>|--csv <file>
-//                 --pages <logical_pages>] [--drive-writes N] [--export <file>]
+//   trace_replay [--scheme Base|2R|SepBIT|PHFTL|all] [--jobs N]
+//                [--trace <id>|--csv <file> --pages <logical_pages>]
+//                [--drive-writes N] [--export <file>]
 //                [--metrics-out <json>] [--metrics-csv <csv>]
 //                [--trace-out <chrome.json>] [--snapshot-every <pages>]
 //                [--power-cut-at <host write #>] [--recover]
@@ -12,6 +13,9 @@
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
+//   trace_replay --scheme all --trace "#144" --jobs 4
+//     (all four schemes, one replay per worker; reports print in canonical
+//     scheme order and are identical to four serial runs)
 //   trace_replay --scheme SepBIT --csv mytrace.csv --pages 45711
 //   trace_replay --trace "#52" --export out.csv   # export the synthetic trace
 //   trace_replay --metrics-out run.json --trace-out trace.json
@@ -31,8 +35,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/base_ftl.hpp"
 #include "baselines/sepbit.hpp"
@@ -42,6 +49,7 @@
 #include "obs/observability.hpp"
 #include "trace/alibaba_suite.hpp"
 #include "trace/csv.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace phftl;
 
@@ -49,7 +57,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: trace_replay [--scheme Base|2R|SepBIT|PHFTL]\n"
+               "usage: trace_replay [--scheme Base|2R|SepBIT|PHFTL|all] "
+               "[--jobs N]\n"
                "                    [--trace <suite id> | --csv <file> "
                "--pages <n>]\n"
                "                    [--drive-writes <x>] [--export <file>]\n"
@@ -61,18 +70,216 @@ void usage() {
                "[--recover]\n"
                "                    [--program-fail-prob <p>] "
                "[--erase-fail-prob <p>] [--fault-seed <n>]\n"
-               "                    [--trim-fraction <f>]\n");
+               "                    [--trim-fraction <f>]\n"
+               "  (--scheme all replays every scheme; file outputs require a "
+               "single scheme)\n");
   std::exit(2);
 }
 
-bool write_or_complain(const std::string& path, const std::string& content,
-                       const char* what) {
+constexpr std::uint64_t kNoCut = ~0ULL;
+
+struct ReplayOptions {
+  std::string metrics_json_path;
+  std::string metrics_csv_path;
+  std::string trace_out_path;
+  std::uint64_t snapshot_every = 0;
+  std::uint64_t power_cut_at = kNoCut;
+  bool do_recover = false;
+  FaultInjector::Config fault_cfg;
+  bool with_faults = false;
+};
+
+struct ReplayOutcome {
+  std::string report;
+  bool ok = true;
+};
+
+std::unique_ptr<FtlBase> make_ftl(const std::string& scheme,
+                                  const FtlConfig& cfg) {
+  if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
+  if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
+  if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
+  if (scheme == "PHFTL")
+    return std::make_unique<core::PhftlFtl>(core::default_phftl_config(cfg));
+  usage();
+  return nullptr;
+}
+
+bool write_or_complain(std::ostringstream& out, const std::string& path,
+                       const std::string& content, const char* what) {
   if (!obs::write_text_file(path, content)) {
     std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
     return false;
   }
-  std::printf("wrote %s to %s\n", what, path.c_str());
+  out << "wrote " << what << " to " << path << "\n";
   return true;
+}
+
+/// One complete replay: own FTL, own fault injector, own observability.
+/// Buffers its report so `--scheme all` can run replays concurrently and
+/// still print in canonical order.
+ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
+                         FtlConfig cfg, const ReplayOptions& opt) {
+  std::ostringstream out;
+  char buf[512];
+
+  // The injector must outlive the FTL (FtlConfig holds a raw pointer); each
+  // replay owns one so parallel replays draw from independent fault streams.
+  FaultInjector injector(opt.fault_cfg);
+  if (opt.with_faults) cfg.fault_injector = &injector;
+
+  auto ftl = make_ftl(scheme, cfg);
+
+  if (!opt.trace_out_path.empty())
+    ftl->observability().trace().enable(/*capacity=*/65536);
+  if (opt.snapshot_every > 0)
+    ftl->observability().set_snapshot_cadence(opt.snapshot_every);
+
+  std::snprintf(buf, sizeof(buf),
+                "replaying %s (%zu requests, %llu write pages) on %s...\n",
+                trace.name.c_str(), trace.ops.size(),
+                static_cast<unsigned long long>(trace.total_write_pages()),
+                ftl->name().c_str());
+  out << buf;
+  std::uint64_t written = 0;
+  std::uint64_t enospc_requests = 0;
+  bool cut_done = false;
+  for (const auto& req : trace.ops) {
+    if (!cut_done && opt.power_cut_at != kNoCut && req.op == OpType::kWrite &&
+        written + req.num_pages > opt.power_cut_at) {
+      // The cut lands inside this request: the pages before the cut are
+      // acknowledged, the rest never reach flash (a torn request).
+      const auto keep = static_cast<std::uint32_t>(opt.power_cut_at - written);
+      if (keep > 0) {
+        HostRequest pre = req;
+        pre.num_pages = keep;
+        const SubmitResult r = ftl->submit_checked(pre);
+        if (r.status == WriteResult::kEnospc) ++enospc_requests;
+        written += r.pages_completed;
+      }
+      cut_done = true;
+      std::snprintf(buf, sizeof(buf),
+                    "\npower cut after %llu acknowledged host writes\n",
+                    static_cast<unsigned long long>(written));
+      out << buf;
+      if (!opt.do_recover) break;  // inspect the dead drive's statistics
+      const RecoveryReport rep = ftl->recover();
+      std::snprintf(
+          buf, sizeof(buf),
+          "recovered: %llu OOB scans, %llu mapped LPNs, %llu trim records "
+          "replayed (%llu tombstoned), %llu open superblocks closed, "
+          "vclock %llu, %.3f ms\n\n",
+          static_cast<unsigned long long>(rep.oob_scans),
+          static_cast<unsigned long long>(rep.mapped_lpns),
+          static_cast<unsigned long long>(rep.trim_records_replayed),
+          static_cast<unsigned long long>(rep.trim_tombstones),
+          static_cast<unsigned long long>(rep.open_sbs_closed),
+          static_cast<unsigned long long>(rep.recovered_vclock),
+          static_cast<double>(rep.rebuild_ns) * 1e-6);
+      out << buf;
+      if (keep < req.num_pages) {  // the host retries the torn remainder
+        HostRequest post = req;
+        post.start_lpn += keep;
+        post.num_pages -= keep;
+        const SubmitResult r = ftl->submit_checked(post);
+        if (r.status == WriteResult::kEnospc) ++enospc_requests;
+        written += r.pages_completed;
+      }
+      continue;
+    }
+    const SubmitResult r = ftl->submit_checked(req);
+    if (r.status == WriteResult::kEnospc) ++enospc_requests;
+    if (req.op == OpType::kWrite) written += r.pages_completed;
+  }
+
+  const FtlStats& s = ftl->stats();
+  std::snprintf(
+      buf, sizeof(buf),
+      "\nresults:\n"
+      "  write amplification   %.1f%%  ((F-U)/U)\n"
+      "  user writes           %llu pages\n"
+      "  GC copies             %llu pages\n"
+      "  meta-page writes      %llu\n"
+      "  erases                %llu (max wear %llu)\n"
+      "  GC invocations        %llu\n"
+      "  host reads            %llu\n"
+      "  effective trims       %llu pages\n"
+      "  trim journal          %llu page writes, %llu compactions\n",
+      s.write_amplification() * 100.0,
+      static_cast<unsigned long long>(s.user_writes),
+      static_cast<unsigned long long>(s.gc_writes),
+      static_cast<unsigned long long>(s.meta_writes),
+      static_cast<unsigned long long>(s.erases),
+      static_cast<unsigned long long>(ftl->flash().max_erase_count()),
+      static_cast<unsigned long long>(s.gc_invocations),
+      static_cast<unsigned long long>(s.host_reads),
+      static_cast<unsigned long long>(s.trims),
+      static_cast<unsigned long long>(s.journal_writes),
+      static_cast<unsigned long long>(s.trim_journal_compactions));
+  out << buf;
+  if (enospc_requests > 0 || s.enospc_rejections > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  ENOSPC rejections     %llu requests truncated (%llu page "
+        "rejections)\n",
+        static_cast<unsigned long long>(enospc_requests),
+        static_cast<unsigned long long>(s.enospc_rejections));
+    out << buf;
+  }
+  if (opt.with_faults || s.program_failures > 0 || s.erase_failures > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  program failures      %llu (pages consumed, data retried)\n"
+        "  erase failures        %llu\n"
+        "  blocks retired        %llu\n"
+        "  bad superblocks       %llu of %llu\n",
+        static_cast<unsigned long long>(s.program_failures),
+        static_cast<unsigned long long>(s.erase_failures),
+        static_cast<unsigned long long>(s.blocks_retired),
+        static_cast<unsigned long long>(ftl->flash().bad_block_count()),
+        static_cast<unsigned long long>(cfg.geom.num_superblocks()));
+    out << buf;
+  }
+
+  if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
+    phftl->finalize_evaluation();
+    const auto& cm = phftl->classifier_metrics();
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nPHFTL specifics:\n"
+        "  classifier            acc %.3f  P %.3f  R %.3f  F1 %.3f\n"
+        "  adaptive threshold    %lld pages\n"
+        "  training windows      %llu\n"
+        "  metadata cache        %.2f%% hit rate, %llu flash meta reads\n",
+        cm.accuracy(), cm.precision(), cm.recall(), cm.f1(),
+        static_cast<long long>(phftl->threshold()),
+        static_cast<unsigned long long>(phftl->trainer().windows_completed()),
+        phftl->meta_store().cache_hit_rate() * 100.0,
+        static_cast<unsigned long long>(s.meta_reads));
+    out << buf;
+  }
+
+  // --- observability export (docs/METRICS.md) ---
+  ReplayOutcome outcome;
+  if (!opt.metrics_json_path.empty() || !opt.metrics_csv_path.empty() ||
+      !opt.trace_out_path.empty()) {
+    ftl->refresh_observability();  // push gauges before the snapshot
+    if (!opt.metrics_json_path.empty())
+      outcome.ok &= write_or_complain(out, opt.metrics_json_path,
+                                      obs::metrics_to_json(ftl->observability()),
+                                      "metrics JSON");
+    if (!opt.metrics_csv_path.empty())
+      outcome.ok &= write_or_complain(out, opt.metrics_csv_path,
+                                      obs::metrics_to_csv(ftl->observability()),
+                                      "metrics CSV");
+    if (!opt.trace_out_path.empty())
+      outcome.ok &= write_or_complain(
+          out, opt.trace_out_path,
+          obs::trace_to_chrome_json(ftl->observability().trace()),
+          "chrome trace");
+  }
+  outcome.report = out.str();
+  return outcome;
 }
 
 }  // namespace
@@ -82,18 +289,11 @@ int main(int argc, char** argv) {
   std::string trace_id = "#52";
   std::string csv_path;
   std::string export_path;
-  std::string metrics_json_path;
-  std::string metrics_csv_path;
-  std::string trace_out_path;
-  std::uint64_t snapshot_every = 0;
   std::uint64_t csv_pages = 0;
   double drive_writes = 4.0;
-  constexpr std::uint64_t kNoCut = ~0ULL;
-  std::uint64_t power_cut_at = kNoCut;
-  bool do_recover = false;
-  FaultInjector::Config fault_cfg;
-  bool with_faults = false;
   double trim_fraction = -1.0;  // < 0: keep the suite trace's own fraction
+  long cli_jobs = -1;
+  ReplayOptions opt;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,27 +302,28 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--scheme") scheme = next();
+    else if (arg == "--jobs") cli_jobs = std::strtol(next(), nullptr, 10);
     else if (arg == "--trace") trace_id = next();
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--pages") csv_pages = std::strtoull(next(), nullptr, 10);
     else if (arg == "--drive-writes") drive_writes = std::atof(next());
     else if (arg == "--export") export_path = next();
-    else if (arg == "--metrics-out") metrics_json_path = next();
-    else if (arg == "--metrics-csv") metrics_csv_path = next();
-    else if (arg == "--trace-out") trace_out_path = next();
+    else if (arg == "--metrics-out") opt.metrics_json_path = next();
+    else if (arg == "--metrics-csv") opt.metrics_csv_path = next();
+    else if (arg == "--trace-out") opt.trace_out_path = next();
     else if (arg == "--snapshot-every")
-      snapshot_every = std::strtoull(next(), nullptr, 10);
+      opt.snapshot_every = std::strtoull(next(), nullptr, 10);
     else if (arg == "--power-cut-at")
-      power_cut_at = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--recover") do_recover = true;
+      opt.power_cut_at = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--recover") opt.do_recover = true;
     else if (arg == "--program-fail-prob") {
-      fault_cfg.program_fail_prob = std::atof(next());
-      with_faults = true;
+      opt.fault_cfg.program_fail_prob = std::atof(next());
+      opt.with_faults = true;
     } else if (arg == "--erase-fail-prob") {
-      fault_cfg.erase_fail_prob = std::atof(next());
-      with_faults = true;
+      opt.fault_cfg.erase_fail_prob = std::atof(next());
+      opt.with_faults = true;
     } else if (arg == "--fault-seed") {
-      fault_cfg.seed = std::strtoull(next(), nullptr, 10);
+      opt.fault_cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--trim-fraction") {
       trim_fraction = std::atof(next());
     } else usage();
@@ -157,150 +358,35 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // The injector must outlive the FTL (FtlConfig holds a raw pointer).
-  FaultInjector injector(fault_cfg);
-  if (with_faults) cfg.fault_injector = &injector;
-
-  std::unique_ptr<FtlBase> ftl;
-  if (scheme == "Base") ftl = std::make_unique<BaseFtl>(cfg);
-  else if (scheme == "2R") ftl = std::make_unique<TwoRFtl>(cfg);
-  else if (scheme == "SepBIT") ftl = std::make_unique<SepBitFtl>(cfg);
-  else if (scheme == "PHFTL")
-    ftl = std::make_unique<core::PhftlFtl>(core::default_phftl_config(cfg));
-  else usage();
-
-  if (!trace_out_path.empty())
-    ftl->observability().trace().enable(/*capacity=*/65536);
-  if (snapshot_every > 0)
-    ftl->observability().set_snapshot_cadence(snapshot_every);
-
-  std::printf("replaying %s (%zu requests, %llu write pages) on %s...\n",
-              trace.name.c_str(), trace.ops.size(),
-              static_cast<unsigned long long>(trace.total_write_pages()),
-              ftl->name().c_str());
-  std::uint64_t written = 0;
-  std::uint64_t enospc_requests = 0;
-  bool cut_done = false;
-  for (const auto& req : trace.ops) {
-    if (!cut_done && power_cut_at != kNoCut && req.op == OpType::kWrite &&
-        written + req.num_pages > power_cut_at) {
-      // The cut lands inside this request: the pages before the cut are
-      // acknowledged, the rest never reach flash (a torn request).
-      const auto keep = static_cast<std::uint32_t>(power_cut_at - written);
-      if (keep > 0) {
-        HostRequest pre = req;
-        pre.num_pages = keep;
-        const SubmitResult r = ftl->submit_checked(pre);
-        if (r.status == WriteResult::kEnospc) ++enospc_requests;
-        written += r.pages_completed;
-      }
-      cut_done = true;
-      std::printf("\npower cut after %llu acknowledged host writes\n",
-                  static_cast<unsigned long long>(written));
-      if (!do_recover) break;  // inspect the dead drive's statistics
-      const RecoveryReport rep = ftl->recover();
-      std::printf(
-          "recovered: %llu OOB scans, %llu mapped LPNs, %llu trim records "
-          "replayed (%llu tombstoned), %llu open superblocks closed, "
-          "vclock %llu, %.3f ms\n\n",
-          static_cast<unsigned long long>(rep.oob_scans),
-          static_cast<unsigned long long>(rep.mapped_lpns),
-          static_cast<unsigned long long>(rep.trim_records_replayed),
-          static_cast<unsigned long long>(rep.trim_tombstones),
-          static_cast<unsigned long long>(rep.open_sbs_closed),
-          static_cast<unsigned long long>(rep.recovered_vclock),
-          static_cast<double>(rep.rebuild_ns) * 1e-6);
-      if (keep < req.num_pages) {  // the host retries the torn remainder
-        HostRequest post = req;
-        post.start_lpn += keep;
-        post.num_pages -= keep;
-        const SubmitResult r = ftl->submit_checked(post);
-        if (r.status == WriteResult::kEnospc) ++enospc_requests;
-        written += r.pages_completed;
-      }
-      continue;
-    }
-    const SubmitResult r = ftl->submit_checked(req);
-    if (r.status == WriteResult::kEnospc) ++enospc_requests;
-    if (req.op == OpType::kWrite) written += r.pages_completed;
+  if (scheme != "all") {
+    const ReplayOutcome outcome = run_replay(scheme, trace, cfg, opt);
+    std::fputs(outcome.report.c_str(), stdout);
+    return outcome.ok ? 0 : 1;
   }
 
-  const FtlStats& s = ftl->stats();
-  std::printf(
-      "\nresults:\n"
-      "  write amplification   %.1f%%  ((F-U)/U)\n"
-      "  user writes           %llu pages\n"
-      "  GC copies             %llu pages\n"
-      "  meta-page writes      %llu\n"
-      "  erases                %llu (max wear %llu)\n"
-      "  GC invocations        %llu\n"
-      "  host reads            %llu\n"
-      "  effective trims       %llu pages\n"
-      "  trim journal          %llu page writes, %llu compactions\n",
-      s.write_amplification() * 100.0,
-      static_cast<unsigned long long>(s.user_writes),
-      static_cast<unsigned long long>(s.gc_writes),
-      static_cast<unsigned long long>(s.meta_writes),
-      static_cast<unsigned long long>(s.erases),
-      static_cast<unsigned long long>(ftl->flash().max_erase_count()),
-      static_cast<unsigned long long>(s.gc_invocations),
-      static_cast<unsigned long long>(s.host_reads),
-      static_cast<unsigned long long>(s.trims),
-      static_cast<unsigned long long>(s.journal_writes),
-      static_cast<unsigned long long>(s.trim_journal_compactions));
-  if (enospc_requests > 0 || s.enospc_rejections > 0) {
-    std::printf(
-        "  ENOSPC rejections     %llu requests truncated (%llu page "
-        "rejections)\n",
-        static_cast<unsigned long long>(enospc_requests),
-        static_cast<unsigned long long>(s.enospc_rejections));
+  // --- all schemes, one independent replay each (possibly concurrent) ---
+  if (!opt.metrics_json_path.empty() || !opt.metrics_csv_path.empty() ||
+      !opt.trace_out_path.empty()) {
+    std::fprintf(stderr,
+                 "--metrics-out/--metrics-csv/--trace-out write one file "
+                 "per run; pick a single --scheme\n");
+    return 2;
   }
-  if (with_faults || s.program_failures > 0 || s.erase_failures > 0) {
-    std::printf(
-        "  program failures      %llu (pages consumed, data retried)\n"
-        "  erase failures        %llu\n"
-        "  blocks retired        %llu\n"
-        "  bad superblocks       %llu of %llu\n",
-        static_cast<unsigned long long>(s.program_failures),
-        static_cast<unsigned long long>(s.erase_failures),
-        static_cast<unsigned long long>(s.blocks_retired),
-        static_cast<unsigned long long>(ftl->flash().bad_block_count()),
-        static_cast<unsigned long long>(cfg.geom.num_superblocks()));
-  }
-
-  if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
-    phftl->finalize_evaluation();
-    const auto& cm = phftl->classifier_metrics();
-    std::printf(
-        "\nPHFTL specifics:\n"
-        "  classifier            acc %.3f  P %.3f  R %.3f  F1 %.3f\n"
-        "  adaptive threshold    %lld pages\n"
-        "  training windows      %llu\n"
-        "  metadata cache        %.2f%% hit rate, %llu flash meta reads\n",
-        cm.accuracy(), cm.precision(), cm.recall(), cm.f1(),
-        static_cast<long long>(phftl->threshold()),
-        static_cast<unsigned long long>(phftl->trainer().windows_completed()),
-        phftl->meta_store().cache_hit_rate() * 100.0,
-        static_cast<unsigned long long>(s.meta_reads));
-  }
-
-  // --- observability export (docs/METRICS.md) ---
+  const unsigned jobs = util::resolve_jobs(cli_jobs);
+  util::ThreadPool pool(jobs);
+  const std::vector<std::string> schemes = {"Base", "2R", "SepBIT", "PHFTL"};
+  std::vector<std::future<ReplayOutcome>> runs;
+  for (const auto& s : schemes)
+    runs.push_back(pool.submit(
+        [&s, &trace, &cfg, &opt] { return run_replay(s, trace, cfg, opt); }));
   bool ok = true;
-  if (!metrics_json_path.empty() || !metrics_csv_path.empty() ||
-      !trace_out_path.empty()) {
-    ftl->refresh_observability();  // push gauges before the snapshot
-    if (!metrics_json_path.empty())
-      ok &= write_or_complain(metrics_json_path,
-                              obs::metrics_to_json(ftl->observability()),
-                              "metrics JSON");
-    if (!metrics_csv_path.empty())
-      ok &= write_or_complain(metrics_csv_path,
-                              obs::metrics_to_csv(ftl->observability()),
-                              "metrics CSV");
-    if (!trace_out_path.empty())
-      ok &= write_or_complain(
-          trace_out_path, obs::trace_to_chrome_json(ftl->observability().trace()),
-          "chrome trace");
+  bool first = true;
+  for (auto& run : runs) {
+    const ReplayOutcome outcome = run.get();
+    if (!first) std::printf("\n================\n\n");
+    first = false;
+    std::fputs(outcome.report.c_str(), stdout);
+    ok &= outcome.ok;
   }
   return ok ? 0 : 1;
 }

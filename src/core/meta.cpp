@@ -28,6 +28,7 @@ MetaStore::MetaStore(const Config& cfg) : geom_(cfg.geom) {
   const auto cap = static_cast<std::size_t>(
       static_cast<double>(total_meta_pages()) * cfg.cache_fraction);
   cache_capacity_ = std::max(cap, cfg.min_cache_pages);
+  cache_.reset(cache_capacity_);
 
   entries_.resize(geom_.total_pages());
 }
@@ -39,7 +40,7 @@ std::uint64_t MetaStore::mppn_of(Ppn ppn) const {
   return sb * meta_per_sb_ + offset / entries_per_page_;
 }
 
-const MetaEntry& MetaStore::get(Ppn ppn, bool sb_open, bool* flash_read) {
+MetaEntry MetaStore::get(Ppn ppn, bool sb_open, bool* flash_read) {
   PHFTL_CHECK(ppn < entries_.size());
   if (flash_read) *flash_read = false;
   if (sb_open) {
@@ -47,15 +48,12 @@ const MetaEntry& MetaStore::get(Ppn ppn, bool sb_open, bool* flash_read) {
     ++buffer_hits_;
     return entries_[ppn];
   }
-  const std::uint64_t mppn = mppn_of(ppn);
-  auto it = index_.find(mppn);
-  if (it != index_.end()) {
+  const CacheAccess a = cache_.access(mppn_of(ppn));
+  if (a.hit) {
     ++hits_;
-    touch(mppn);
   } else {
     ++misses_;
     if (flash_read) *flash_read = true;  // meta page fetched from flash
-    insert(mppn);
   }
   return entries_[ppn];
 }
@@ -70,13 +68,8 @@ void MetaStore::put(Ppn ppn, const MetaEntry& entry) {
 void MetaStore::on_superblock_erased(std::uint64_t sb) {
   // Invalidate cached meta pages of the erased superblock.
   const std::uint64_t first = sb * meta_per_sb_;
-  for (std::uint64_t mppn = first; mppn < first + meta_per_sb_; ++mppn) {
-    auto it = index_.find(mppn);
-    if (it != index_.end()) {
-      lru_.erase(it->second);
-      index_.erase(it);
-    }
-  }
+  for (std::uint64_t mppn = first; mppn < first + meta_per_sb_; ++mppn)
+    cache_.erase(mppn);
   // Reset the entries (flash content is gone after erase).
   const std::uint64_t base = sb * geom_.pages_per_superblock();
   std::fill(entries_.begin() + static_cast<std::ptrdiff_t>(base),
@@ -86,25 +79,8 @@ void MetaStore::on_superblock_erased(std::uint64_t sb) {
 }
 
 void MetaStore::reset_cold() {
-  index_.clear();
-  lru_.clear();
+  cache_.clear();
   std::fill(entries_.begin(), entries_.end(), MetaEntry{});
-}
-
-void MetaStore::touch(std::uint64_t mppn) {
-  auto it = index_.find(mppn);
-  PHFTL_CHECK(it != index_.end());
-  lru_.splice(lru_.begin(), lru_, it->second);
-}
-
-void MetaStore::insert(std::uint64_t mppn) {
-  if (index_.size() >= cache_capacity_) {
-    const std::uint64_t victim = lru_.back();
-    lru_.pop_back();
-    index_.erase(victim);
-  }
-  lru_.push_front(mppn);
-  index_[mppn] = lru_.begin();
 }
 
 }  // namespace phftl::core

@@ -8,8 +8,11 @@
 // address (MPPN) is computable from a data page's offset. RAM holds only:
 //   * per-open-superblock write buffers (entries accumulate in RAM until the
 //     superblock closes and the meta pages are programmed), and
-//   * a small on-demand cache of meta pages, indexed by a red-black tree
-//     keyed on MPPN with LRU eviction, sized at 1 % of all meta pages.
+//   * a small on-demand cache of meta pages with exact LRU eviction, sized
+//     at 1 % of all meta pages. The paper describes the index as a red-black
+//     tree; we keep its hit/miss/eviction behaviour bit-identical but store
+//     it allocation-free (FlatMetaCache, src/core/meta_cache.hpp) because
+//     every host write crosses this structure.
 // Consecutive data pages share a meta page, so one flash read serves many
 // subsequent retrievals (the 98–99.9 % hit rates of §V-B).
 //
@@ -19,10 +22,9 @@
 
 #include <array>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <vector>
 
+#include "core/meta_cache.hpp"
 #include "flash/geometry.hpp"
 
 namespace phftl::core {
@@ -71,8 +73,10 @@ class MetaStore {
   /// the page's superblock is still open (entries are in the RAM write
   /// buffer — no flash I/O). For closed superblocks the meta page is looked
   /// up in the cache; `*flash_read` is set when a miss forced a meta-page
-  /// read from flash.
-  const MetaEntry& get(Ppn ppn, bool sb_open, bool* flash_read);
+  /// read from flash. Returns the entry by value: a get may evict or insert
+  /// cache state, so handing out a reference into the store invites a
+  /// dangling read when a later put/erase pattern reshuffles it.
+  MetaEntry get(Ppn ppn, bool sb_open, bool* flash_read);
 
   /// Record the metadata entry for the data page just written at `ppn`
   /// (into the open superblock's RAM buffer; also what finalize programs).
@@ -99,9 +103,6 @@ class MetaStore {
   }
 
  private:
-  void touch(std::uint64_t mppn);   // move to MRU
-  void insert(std::uint64_t mppn);  // add, evicting LRU if needed
-
   Geometry geom_;
   std::uint32_t entries_per_page_;
   std::uint32_t meta_per_sb_;
@@ -113,10 +114,10 @@ class MetaStore {
   /// model meta-page contents in flash (reachable via the cache).
   std::vector<MetaEntry> entries_;
 
-  /// Red-black tree (std::map) keyed by MPPN → position in the LRU list,
-  /// exactly the paper's cache index structure.
-  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
-  std::list<std::uint64_t> lru_;  // front = most recently used
+  /// Cache index keyed by MPPN: flat open-addressed hash + array-backed
+  /// LRU, behaviourally identical to the paper's tree+list (differential
+  /// test in tests/test_meta.cpp).
+  FlatMetaCache cache_;
 
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

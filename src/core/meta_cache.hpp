@@ -1,0 +1,290 @@
+// Meta-page cache index structures (paper §III-C / §V-B).
+//
+// The paper describes the RAM cache of meta pages as "a red-black tree with
+// LRU eviction". That literal structure (std::map keyed by MPPN + std::list
+// recency order) allocates a tree node and a list node per cached page and
+// chases pointers on every host write — Dayan & Bonnet show exactly this
+// index dominating flash-resident-metadata FTL cost. FlatMetaCache keeps
+// the *semantics* (exact LRU, same hit/miss/eviction sequence, so the §V-B
+// hit rates are bit-identical) but stores everything in two flat arrays
+// sized once at construction:
+//   * a slab of `capacity` nodes, each {key, prev, next} with indices (not
+//     pointers) forming an intrusive doubly-linked LRU list + a free list,
+//   * an open-addressed hash table (linear probing, power-of-two size at
+//     ≤ 50 % load) mapping MPPN → slab index, with backward-shift deletion
+//     so lookups never scan tombstones.
+// No allocation ever happens after the constructor; a get/put is a probe
+// plus a handful of index writes.
+//
+// ReferenceMetaCache is the retained map+list implementation. It exists so
+// the differential test (tests/test_meta.cpp) and the bench_micro_ftl
+// microbench can prove, op for op, that the flat cache hits, misses, and
+// evicts identically — and by how much it is faster.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace phftl::core {
+
+/// Outcome of one touch-or-insert, identical across implementations; the
+/// differential test compares these fields op for op.
+struct CacheAccess {
+  bool hit = false;           ///< key was already cached (moved to MRU)
+  bool evicted = false;       ///< a miss at capacity evicted the LRU key
+  std::uint64_t victim = 0;   ///< the evicted key (valid iff `evicted`)
+};
+
+/// Flat open-addressed hash + intrusive array-backed LRU. Exact LRU with
+/// the same eviction order as ReferenceMetaCache.
+class FlatMetaCache {
+ public:
+  /// Default-constructed caches hold nothing until reset(); MetaStore
+  /// derives its capacity from the geometry after member construction.
+  FlatMetaCache() = default;
+  explicit FlatMetaCache(std::size_t capacity) { reset(capacity); }
+
+  /// (Re)size to `capacity` entries and drop all contents. The only
+  /// allocating operation; everything after is flat-array writes.
+  void reset(std::size_t capacity) {
+    PHFTL_CHECK_MSG(capacity > 0, "cache capacity must be positive");
+    capacity_ = capacity;
+    nodes_.assign(capacity_, Node{});
+    // ≤ 50 % load keeps linear-probe chains short; power-of-two size makes
+    // the probe step a mask instead of a modulo.
+    std::size_t slots = 16;
+    while (slots < capacity_ * 2) slots <<= 1;
+    slot_mask_ = slots - 1;
+    slots_.assign(slots, kEmptySlot);
+    clear();
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  bool contains(std::uint64_t key) const {
+    return find_slot(key) != kNotFound;
+  }
+
+  /// Touch-or-insert: a hit moves `key` to MRU; a miss inserts it at MRU,
+  /// evicting the LRU entry when full.
+  CacheAccess access(std::uint64_t key) {
+    CacheAccess out;
+    const std::size_t slot = find_slot(key);
+    if (slot != kNotFound) {
+      out.hit = true;
+      move_to_front(slots_[slot]);
+      return out;
+    }
+    if (size_ == capacity_) {
+      out.evicted = true;
+      out.victim = nodes_[tail_].key;
+      erase_key(out.victim);
+    }
+    const std::uint32_t node = pop_free();
+    nodes_[node].key = key;
+    push_front(node);
+    insert_slot(key, node);
+    ++size_;
+    return out;
+  }
+
+  /// Drop `key` if cached (superblock erase invalidates its meta pages).
+  /// Returns true if it was present.
+  bool erase(std::uint64_t key) {
+    if (find_slot(key) == kNotFound) return false;
+    erase_key(key);
+    return true;
+  }
+
+  /// Drop everything (power-cut cold start).
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+    head_ = tail_ = kNil;
+    size_ = 0;
+    // Rebuild the free list over the whole slab.
+    free_head_ = 0;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+      nodes_[i].next = i + 1 == nodes_.size() ? kNil : i + 1;
+  }
+
+  /// LRU order, most recent first (diagnostics / tests).
+  template <typename Fn>
+  void for_each_mru(Fn&& fn) const {
+    for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next)
+      fn(nodes_[n].key);
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = ~0u;
+  static constexpr std::uint32_t kEmptySlot = ~0u;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  /// Fibonacci multiplicative hash; MPPNs are dense small integers, so the
+  /// high bits need the spread.
+  std::size_t hash(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) &
+           slot_mask_;
+  }
+
+  std::size_t find_slot(std::uint64_t key) const {
+    std::size_t i = hash(key);
+    while (slots_[i] != kEmptySlot) {
+      if (nodes_[slots_[i]].key == key) return i;
+      i = (i + 1) & slot_mask_;
+    }
+    return kNotFound;
+  }
+
+  void insert_slot(std::uint64_t key, std::uint32_t node) {
+    std::size_t i = hash(key);
+    while (slots_[i] != kEmptySlot) i = (i + 1) & slot_mask_;
+    slots_[i] = node;
+  }
+
+  /// Backward-shift deletion: close the probe chain so searches never need
+  /// tombstones. Standard linear-probing invariant maintenance.
+  void remove_slot(std::size_t i) {
+    slots_[i] = kEmptySlot;
+    std::size_t j = (i + 1) & slot_mask_;
+    while (slots_[j] != kEmptySlot) {
+      const std::size_t home = hash(nodes_[slots_[j]].key);
+      // Shift j back into i unless j's home slot lies in (i, j] cyclically
+      // (then the entry is already as close to home as the hole allows).
+      const bool keep = i <= j ? (home > i && home <= j)
+                               : (home > i || home <= j);
+      if (!keep) {
+        slots_[i] = slots_[j];
+        slots_[j] = kEmptySlot;
+        i = j;
+      }
+      j = (j + 1) & slot_mask_;
+    }
+  }
+
+  void erase_key(std::uint64_t key) {
+    const std::size_t slot = find_slot(key);
+    PHFTL_CHECK(slot != kNotFound);
+    const std::uint32_t node = slots_[slot];
+    remove_slot(slot);
+    unlink(node);
+    push_free(node);
+    --size_;
+  }
+
+  // --- intrusive LRU list over the slab ---
+  void push_front(std::uint32_t n) {
+    nodes_[n].prev = kNil;
+    nodes_[n].next = head_;
+    if (head_ != kNil) nodes_[head_].prev = n;
+    head_ = n;
+    if (tail_ == kNil) tail_ = n;
+  }
+
+  void unlink(std::uint32_t n) {
+    const std::uint32_t p = nodes_[n].prev;
+    const std::uint32_t q = nodes_[n].next;
+    if (p != kNil) nodes_[p].next = q; else head_ = q;
+    if (q != kNil) nodes_[q].prev = p; else tail_ = p;
+  }
+
+  void move_to_front(std::uint32_t n) {
+    if (head_ == n) return;
+    unlink(n);
+    push_front(n);
+  }
+
+  // --- free list threaded through `next` ---
+  std::uint32_t pop_free() {
+    PHFTL_CHECK(free_head_ != kNil);
+    const std::uint32_t n = free_head_;
+    free_head_ = nodes_[n].next;
+    return n;
+  }
+  void push_free(std::uint32_t n) {
+    nodes_[n].next = free_head_;
+    free_head_ = n;
+  }
+
+  std::size_t capacity_ = 0;
+  std::vector<Node> nodes_;          ///< fixed slab, `capacity_` entries
+  std::vector<std::uint32_t> slots_; ///< open-addressed table → slab index
+  std::size_t slot_mask_ = 0;
+  std::uint32_t head_ = kNil;        ///< MRU
+  std::uint32_t tail_ = kNil;        ///< LRU (eviction end)
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
+};
+
+/// The retained reference implementation: std::map (red-black tree) keyed
+/// by MPPN → std::list iterator, exactly the structure the paper names and
+/// exactly what MetaStore shipped before the flat rework. Kept for the
+/// differential test and the microbench baseline — not used on any hot
+/// path.
+class ReferenceMetaCache {
+ public:
+  explicit ReferenceMetaCache(std::size_t capacity) : capacity_(capacity) {
+    PHFTL_CHECK_MSG(capacity_ > 0, "cache capacity must be positive");
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  bool contains(std::uint64_t key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  CacheAccess access(std::uint64_t key) {
+    CacheAccess out;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      out.hit = true;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return out;
+    }
+    if (index_.size() >= capacity_) {
+      out.evicted = true;
+      out.victim = lru_.back();
+      lru_.pop_back();
+      index_.erase(out.victim);
+    }
+    lru_.push_front(key);
+    index_[key] = lru_.begin();
+    return out;
+  }
+
+  bool erase(std::uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    index_.clear();
+    lru_.clear();
+  }
+
+  template <typename Fn>
+  void for_each_mru(Fn&& fn) const {
+    for (const std::uint64_t key : lru_) fn(key);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+};
+
+}  // namespace phftl::core

@@ -160,7 +160,7 @@ std::uint32_t PhftlFtl::classify_user_write(Lpn lpn, const WriteContext& ctx) {
   std::vector<float> x(kInputDim);
   encode_features(raw, x);
   int cls;
-  if constexpr (obs::kEnabled) {
+  if (obs::kEnabled && cfg_.time_predictions) {
     // Time the device-side inference step (the paper's ~9 us budget,
     // SIII-C). The clock reads sit outside the kernel, so bench_kernels'
     // fused-predict numbers are unaffected.

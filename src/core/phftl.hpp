@@ -43,6 +43,12 @@ struct PhftlConfig {
   /// the ablation benchmark.
   enum class GcPolicy { kAdjustedGreedy, kGreedy, kCostBenefit };
   GcPolicy gc_policy = GcPolicy::kAdjustedGreedy;
+  /// Record wall-clock prediction latency into ml.predict_latency_ns.
+  /// The parallel experiment runner turns this off: it is the one
+  /// non-simulated (and therefore non-reproducible) quantity in the metric
+  /// set, and the runner guarantees byte-identical merged artifacts across
+  /// serial and --jobs N execution (docs/METRICS.md).
+  bool time_predictions = true;
 };
 
 class PhftlFtl : public FtlBase {

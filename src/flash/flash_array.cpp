@@ -11,6 +11,7 @@ FlashArray::FlashArray(const Geometry& geom)
       sbs_(geom.num_superblocks()),
       payload_(geom.total_pages(), 0),
       oob_(geom.total_pages()),
+      blob_slot_(geom.total_pages(), kNoBlob),
       programmed_(geom.total_pages(), 0) {
   geom_.validate();
 }
@@ -59,7 +60,13 @@ bool FlashArray::erase_superblock(std::uint64_t sb) {
   const std::uint64_t n = geom_.pages_per_superblock();
   std::fill(programmed_.begin() + static_cast<std::ptrdiff_t>(base),
             programmed_.begin() + static_cast<std::ptrdiff_t>(base + n), 0);
-  blobs_.erase(blobs_.lower_bound(base), blobs_.lower_bound(base + n));
+  for (std::uint64_t ppn = base; ppn < base + n; ++ppn) {
+    const std::int32_t slot = blob_slot_[ppn];
+    if (slot == kNoBlob) continue;
+    blob_store_[static_cast<std::size_t>(slot)].clear();
+    blob_free_.push_back(static_cast<std::uint32_t>(slot));
+    blob_slot_[ppn] = kNoBlob;
+  }
   sbs_[sb].state = SuperblockState::kFree;
   sbs_[sb].next_offset = 0;
   ++sbs_[sb].erase_count;
@@ -107,7 +114,16 @@ Ppn FlashArray::program_blob(std::uint64_t sb, const OobData& oob,
                   "blob exceeds the page data area");
   const Ppn ppn = program(sb, /*payload=*/0, oob);
   if (ppn == kInvalidPpn) return kInvalidPpn;  // page consumed, blob lost
-  blobs_[ppn] = std::move(blob);
+  std::uint32_t slot;
+  if (!blob_free_.empty()) {
+    slot = blob_free_.back();
+    blob_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(blob_store_.size());
+    blob_store_.emplace_back();
+  }
+  blob_store_[slot] = std::move(blob);
+  blob_slot_[ppn] = static_cast<std::int32_t>(slot);
   return ppn;
 }
 
@@ -128,8 +144,9 @@ const std::vector<std::uint64_t>& FlashArray::read_blob(Ppn ppn) const {
   PHFTL_CHECK(ppn < oob_.size());
   PHFTL_CHECK_MSG(programmed_[ppn], "blob read of unprogrammed page");
   static const std::vector<std::uint64_t> kEmpty;
-  const auto it = blobs_.find(ppn);
-  return it == blobs_.end() ? kEmpty : it->second;
+  const std::int32_t slot = blob_slot_[ppn];
+  return slot == kNoBlob ? kEmpty
+                         : blob_store_[static_cast<std::size_t>(slot)];
 }
 
 std::uint64_t FlashArray::max_erase_count() const {

@@ -21,7 +21,6 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "flash/geometry.hpp"
@@ -161,8 +160,13 @@ class FlashArray {
   std::vector<std::uint64_t> payload_;
   std::vector<OobData> oob_;
   /// Sparse data-area blobs (trim-journal pages only); erased with the
-  /// superblock like any page content.
-  std::map<Ppn, std::vector<std::uint64_t>> blobs_;
+  /// superblock like any page content. Flat per-PPN slot index into a slab
+  /// of blob vectors (recycled through a free list) — program_blob sits on
+  /// the trim-journal append path, so no tree lookups there.
+  static constexpr std::int32_t kNoBlob = -1;
+  std::vector<std::int32_t> blob_slot_;             ///< per PPN; kNoBlob = none
+  std::vector<std::vector<std::uint64_t>> blob_store_;
+  std::vector<std::uint32_t> blob_free_;            ///< recyclable slot ids
   std::vector<std::uint8_t> programmed_;
   FaultInjector* injector_ = nullptr;
   mutable std::uint64_t reads_ = 0;

@@ -10,8 +10,10 @@
 // Classifier's precision collapses (Table I).
 //
 // Drive sizes are scaled down (GB → thousands of 16 KB pages) so that a
-// full 20-drive-write run of all 20 traces completes on one laptop core;
-// what WA experiments depend on — working-set-to-capacity ratio, lifetime
+// full 20-drive-write run of all 20 traces completes on one laptop core —
+// and the benches spread independent grid runs across cores with
+// `--jobs N` (bench/bench_common.hpp) for a further wall-clock cut.
+// What WA experiments depend on — working-set-to-capacity ratio, lifetime
 // skew, over-provisioning — is preserved under this scaling.
 #pragma once
 

@@ -1,0 +1,112 @@
+// Fixed-size thread pool for embarrassingly parallel experiment grids.
+//
+// The suite benchmarks replay a (scheme × trace × config) grid of fully
+// independent runs — each owns its FTL, FlashArray, RNG, and observability
+// registry (docs/ARCHITECTURE.md "Threading model") — so the pool needs no
+// work stealing, no task graph, and no shared mutable state beyond the
+// queue itself. submit() returns a std::future; an exception thrown by a
+// task is captured and rethrown at future.get(), so a failing run surfaces
+// in the thread that scheduled it instead of terminating the process.
+//
+// Determinism contract: the pool schedules, it never reorders results —
+// callers hold the futures in grid order and join them in grid order, so
+// merged output is byte-identical to a serial run regardless of which
+// worker finishes first (tests/test_runner.cpp proves this property).
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace phftl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue (queued tasks still run), then joins all workers.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Schedule `fn` on a worker; the future delivers its result, or rethrows
+  /// the exception it exited with.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        job = std::move(queue_.front());
+        queue_.pop();
+      }
+      job();  // packaged_task captures any exception into the future
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Job-count resolution shared by every harness that takes `--jobs N`:
+/// explicit CLI value > PHFTL_JOBS environment variable > 1 (serial).
+/// 0 from either source means "one per hardware thread".
+inline unsigned resolve_jobs(long cli_jobs = -1) {
+  long jobs = cli_jobs;
+  if (jobs < 0) {
+    if (const char* env = std::getenv("PHFTL_JOBS"); env && *env)
+      jobs = std::strtol(env, nullptr, 10);
+    else
+      jobs = 1;
+  }
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<long>(hw);
+  }
+  return jobs < 1 ? 1u : static_cast<unsigned>(jobs);
+}
+
+}  // namespace phftl::util

@@ -63,7 +63,7 @@ TEST(MetaStore, PutGetRoundTrip) {
   e.hidden[31] = -42;
   store.put(5, e);
   bool missed = false;
-  const MetaEntry& got = store.get(5, /*sb_open=*/true, &missed);
+  const MetaEntry got = store.get(5, /*sb_open=*/true, &missed);
   EXPECT_FALSE(missed);  // open superblock: RAM buffer
   EXPECT_EQ(got.write_time, 777u);
   EXPECT_EQ(got.hidden[0], 42);
@@ -110,7 +110,7 @@ TEST(MetaStore, EraseInvalidatesCacheAndEntries) {
   bool missed;
   store.get(g.make_ppn(3, 0), false, &missed);  // cache it
   store.on_superblock_erased(3);
-  const MetaEntry& got = store.get(g.make_ppn(3, 0), false, &missed);
+  const MetaEntry got = store.get(g.make_ppn(3, 0), false, &missed);
   EXPECT_TRUE(missed);  // cached page was dropped
   EXPECT_EQ(got.write_time, kNeverWritten);  // entry reset
 }
@@ -135,6 +135,89 @@ TEST(MetaStore, CacheCapacityFollowsOnePercentRule) {
   MetaStore store(cfg);
   EXPECT_EQ(store.cache_capacity_pages(),
             static_cast<std::size_t>(store.total_meta_pages() / 100));
+}
+
+// --- FlatMetaCache vs the retained reference implementation ---
+//
+// The flat open-addressed hash + array LRU must reproduce the paper's
+// tree+list cache *exactly*: same hit/miss outcome, same eviction victim,
+// same size, op for op. A divergence anywhere in a long randomized stream
+// would shift every §V-B hit rate after it.
+
+TEST(MetaCacheDifferential, MillionRandomizedOpsMatchReference) {
+  constexpr std::size_t kCapacity = 97;  // prime, forces probe collisions
+  FlatMetaCache flat(kCapacity);
+  ReferenceMetaCache ref(kCapacity);
+
+  // Mixed op stream: mostly skewed accesses (hot subset for realistic hit
+  // rates), interleaved with range erases (superblock-erase pattern) and
+  // occasional full clears (power-cut cold start).
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  constexpr std::uint64_t kKeySpace = 4096;
+  constexpr std::uint64_t kHotSpace = 64;
+
+  for (std::size_t op = 0; op < 1'000'000; ++op) {
+    const std::uint64_t dice = rnd() % 100;
+    if (dice < 90) {  // touch-or-insert
+      const std::uint64_t key =
+          dice < 45 ? rnd() % kHotSpace : rnd() % kKeySpace;
+      const CacheAccess a = flat.access(key);
+      const CacheAccess b = ref.access(key);
+      ASSERT_EQ(a.hit, b.hit) << "op " << op << " key " << key;
+      ASSERT_EQ(a.evicted, b.evicted) << "op " << op << " key " << key;
+      if (a.evicted)
+        ASSERT_EQ(a.victim, b.victim) << "op " << op << " key " << key;
+    } else if (dice < 99) {  // superblock erase: drop a small key range
+      const std::uint64_t first = rnd() % kKeySpace;
+      for (std::uint64_t k = first; k < first + 4; ++k)
+        ASSERT_EQ(flat.erase(k), ref.erase(k)) << "op " << op << " key " << k;
+    } else {  // cold start
+      flat.clear();
+      ref.clear();
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+  }
+
+  // Final recency orders must agree element for element.
+  std::vector<std::uint64_t> flat_order, ref_order;
+  flat.for_each_mru([&](std::uint64_t k) { flat_order.push_back(k); });
+  ref.for_each_mru([&](std::uint64_t k) { ref_order.push_back(k); });
+  EXPECT_EQ(flat_order, ref_order);
+}
+
+TEST(MetaCacheDifferential, CapacityOneDegenerateCase) {
+  FlatMetaCache flat(1);
+  ReferenceMetaCache ref(1);
+  for (std::uint64_t k : {5ull, 5ull, 9ull, 5ull, 9ull, 9ull}) {
+    const CacheAccess a = flat.access(k);
+    const CacheAccess b = ref.access(k);
+    ASSERT_EQ(a.hit, b.hit);
+    ASSERT_EQ(a.evicted, b.evicted);
+    if (a.evicted) ASSERT_EQ(a.victim, b.victim);
+  }
+}
+
+TEST(FlatMetaCache, EraseClosesProbeChains) {
+  // Keys that collide under the power-of-two mask exercise backward-shift
+  // deletion: after erasing the middle of a probe chain, the tail keys
+  // must remain findable.
+  FlatMetaCache cache(8);
+  // With 16 slots, keys k and k + 16 * 0x... may or may not collide — use
+  // enough keys to guarantee chains form at 50% load.
+  for (std::uint64_t k = 0; k < 8; ++k) cache.access(k);
+  EXPECT_EQ(cache.size(), 8u);
+  for (std::uint64_t k = 0; k < 8; k += 2) EXPECT_TRUE(cache.erase(k));
+  for (std::uint64_t k = 1; k < 8; k += 2) {
+    EXPECT_TRUE(cache.contains(k)) << "key " << k << " lost after erase";
+    EXPECT_TRUE(cache.access(k).hit);
+  }
+  EXPECT_EQ(cache.size(), 4u);
 }
 
 TEST(MetaStoreDeath, MetaPageOffsetsRejected) {
