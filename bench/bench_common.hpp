@@ -110,19 +110,38 @@ struct RunOptions {
   /// Capture metrics_to_json into SuiteRunResult::metrics_json even when
   /// the artifact is disabled (the determinism test compares these).
   bool capture_metrics = false;
+  /// PHFTL prediction pipeline (docs/ARCHITECTURE.md "Prediction
+  /// pipeline"): sync (reference), batched (bit-identical WA), or async.
+  core::PhftlConfig::PredictMode predict_mode =
+      core::PhftlConfig::PredictMode::kSync;
+  std::uint32_t predict_batch = 32;
+  std::uint32_t async_staleness = 64;
 };
 
 inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
                                             const FtlConfig& cfg,
-                                            std::uint32_t history_len = 8,
-                                            bool time_predictions = true) {
+                                            const RunOptions& opts) {
   if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
   if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
   if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
   core::PhftlConfig pcfg = core::default_phftl_config(cfg);
-  pcfg.trainer.history_len = history_len;
-  pcfg.time_predictions = time_predictions;
+  pcfg.trainer.history_len = opts.history_len;
+  pcfg.time_predictions = opts.time_predictions;
+  pcfg.predict_mode = opts.predict_mode;
+  pcfg.predict_batch = opts.predict_batch;
+  pcfg.async_staleness = opts.async_staleness;
   return std::make_unique<core::PhftlFtl>(pcfg);
+}
+
+/// Back-compat overload for callers that predate RunOptions threading.
+inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
+                                            const FtlConfig& cfg,
+                                            std::uint32_t history_len = 8,
+                                            bool time_predictions = true) {
+  RunOptions opts;
+  opts.history_len = history_len;
+  opts.time_predictions = time_predictions;
+  return make_scheme(scheme, cfg, opts);
 }
 
 /// Replay one suite trace under one scheme and collect everything the
@@ -134,9 +153,9 @@ inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
                                       const RunOptions& opts) {
   const FtlConfig cfg = suite_ftl_config(spec);
   const Trace trace = make_suite_trace(spec, drive_writes);
-  auto ftl =
-      make_scheme(scheme, cfg, opts.history_len, opts.time_predictions);
+  auto ftl = make_scheme(scheme, cfg, opts);
   for (const auto& req : trace.ops) ftl->submit(req);
+  ftl->drain();  // flush deferred batched writes / async pipeline
 
   SuiteRunResult res;
   res.trace_id = spec.id;

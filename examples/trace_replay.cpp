@@ -10,6 +10,8 @@
 //                [--power-cut-at <host write #>] [--recover]
 //                [--program-fail-prob <p>] [--erase-fail-prob <p>]
 //                [--fault-seed <n>] [--trim-fraction <f>]
+//                [--predict-mode sync|batched|async] [--predict-batch <K>]
+//                [--staleness <S>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
@@ -28,6 +30,11 @@
 //   trace_replay --trim-fraction 0.1 --power-cut-at 100000 --recover
 //     (override the suite trace's TRIM request fraction; exercises the trim
 //     journal across the cut)
+//   trace_replay --scheme PHFTL --predict-mode batched --predict-batch 64
+//     (defer writes behind one fused int8 batch GEMM; WA is bit-identical
+//     to sync — docs/ARCHITECTURE.md "Prediction pipeline")
+//   trace_replay --scheme PHFTL --predict-mode async --staleness 64
+//     (background predictor thread; deterministic for a fixed staleness)
 //
 // Writes are submitted through submit_checked(): if the drive's capacity
 // watermark rejects part of a request (ENOSPC, docs/RECOVERY.md "Capacity
@@ -71,6 +78,8 @@ void usage() {
                "                    [--program-fail-prob <p>] "
                "[--erase-fail-prob <p>] [--fault-seed <n>]\n"
                "                    [--trim-fraction <f>]\n"
+               "                    [--predict-mode sync|batched|async] "
+               "[--predict-batch <K>] [--staleness <S>]\n"
                "  (--scheme all replays every scheme; file outputs require a "
                "single scheme)\n");
   std::exit(2);
@@ -87,6 +96,10 @@ struct ReplayOptions {
   bool do_recover = false;
   FaultInjector::Config fault_cfg;
   bool with_faults = false;
+  core::PhftlConfig::PredictMode predict_mode =
+      core::PhftlConfig::PredictMode::kSync;
+  std::uint32_t predict_batch = 32;
+  std::uint32_t staleness = 64;
 };
 
 struct ReplayOutcome {
@@ -95,12 +108,18 @@ struct ReplayOutcome {
 };
 
 std::unique_ptr<FtlBase> make_ftl(const std::string& scheme,
-                                  const FtlConfig& cfg) {
+                                  const FtlConfig& cfg,
+                                  const ReplayOptions& opt) {
   if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
   if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
   if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
-  if (scheme == "PHFTL")
-    return std::make_unique<core::PhftlFtl>(core::default_phftl_config(cfg));
+  if (scheme == "PHFTL") {
+    core::PhftlConfig pcfg = core::default_phftl_config(cfg);
+    pcfg.predict_mode = opt.predict_mode;
+    pcfg.predict_batch = opt.predict_batch;
+    pcfg.async_staleness = opt.staleness;
+    return std::make_unique<core::PhftlFtl>(pcfg);
+  }
   usage();
   return nullptr;
 }
@@ -128,7 +147,7 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
   FaultInjector injector(opt.fault_cfg);
   if (opt.with_faults) cfg.fault_injector = &injector;
 
-  auto ftl = make_ftl(scheme, cfg);
+  auto ftl = make_ftl(scheme, cfg, opt);
 
   if (!opt.trace_out_path.empty())
     ftl->observability().trace().enable(/*capacity=*/65536);
@@ -191,6 +210,7 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
     if (r.status == WriteResult::kEnospc) ++enospc_requests;
     if (req.op == OpType::kWrite) written += r.pages_completed;
   }
+  ftl->drain();  // flush deferred batched writes / async pipeline
 
   const FtlStats& s = ftl->stats();
   std::snprintf(
@@ -326,6 +346,21 @@ int main(int argc, char** argv) {
       opt.fault_cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--trim-fraction") {
       trim_fraction = std::atof(next());
+    } else if (arg == "--predict-mode") {
+      const std::string mode = next();
+      if (mode == "sync")
+        opt.predict_mode = core::PhftlConfig::PredictMode::kSync;
+      else if (mode == "batched")
+        opt.predict_mode = core::PhftlConfig::PredictMode::kBatched;
+      else if (mode == "async")
+        opt.predict_mode = core::PhftlConfig::PredictMode::kAsync;
+      else usage();
+    } else if (arg == "--predict-batch") {
+      opt.predict_batch =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--staleness") {
+      opt.staleness =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else usage();
   }
 

@@ -1,0 +1,122 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace phftl::core {
+
+AsyncPredictor::AsyncPredictor(const Config& cfg)
+    : cfg_(cfg), slots_(cfg.logical_pages) {
+  PHFTL_CHECK(cfg_.logical_pages > 0);
+  PHFTL_CHECK_MSG(cfg_.staleness >= 2,
+                  "staleness window must admit at least a model swap plus "
+                  "one in-flight prediction");
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  shadow_.assign(cfg_.logical_pages * cfg_.hidden_dim, 0);
+  worker_ = pool_.submit([this] { consume(); });
+}
+
+AsyncPredictor::~AsyncPredictor() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_consumer_.notify_all();
+  worker_.get();  // surfaces a worker exception before members die
+}
+
+void AsyncPredictor::wait_capacity() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_producer_.wait(
+      lock, [this] { return enqueued_ - completed_ < cfg_.staleness; });
+}
+
+int AsyncPredictor::published_class(Lpn lpn, std::uint64_t idx) const {
+  PHFTL_CHECK(lpn < slots_.size());
+  const std::uint64_t v = slots_[lpn].load(std::memory_order_acquire);
+  // wait_capacity() proved message idx completed (mutex ordering), and the
+  // producer has enqueued nothing newer for this page, so the slot must
+  // hold exactly idx's publication.
+  PHFTL_CHECK_MSG((v >> 1) == idx + 1,
+                  "published class does not match the expected ring index");
+  return static_cast<int>(v & 1);
+}
+
+void AsyncPredictor::enqueue_predict(Lpn lpn, const float* x) {
+  Message msg;
+  msg.kind = Message::Kind::kPredict;
+  msg.lpn = lpn;
+  std::copy(x, x + kInputDim, msg.x.begin());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PHFTL_CHECK_MSG(enqueued_ - completed_ < cfg_.staleness,
+                    "enqueue without wait_capacity()");
+    queue_.push_back(std::move(msg));
+    ++enqueued_;
+  }
+  cv_consumer_.notify_one();
+}
+
+void AsyncPredictor::enqueue_model(ml::QuantizedGru model) {
+  Message msg;
+  msg.kind = Message::Kind::kModel;
+  msg.model = std::make_unique<ml::QuantizedGru>(std::move(model));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_producer_.wait(
+        lock, [this] { return enqueued_ - completed_ < cfg_.staleness; });
+    queue_.push_back(std::move(msg));
+    ++enqueued_;
+  }
+  cv_consumer_.notify_one();
+}
+
+void AsyncPredictor::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_producer_.wait(lock, [this] { return completed_ == enqueued_; });
+}
+
+void AsyncPredictor::reset() {
+  drain();
+  // Worker is idle (nothing queued) and will not touch shadow/slots until
+  // the next enqueue, which happens-after these writes via the mutex.
+  std::fill(shadow_.begin(), shadow_.end(), 0);
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+}
+
+void AsyncPredictor::consume() {
+  const std::size_t h = cfg_.hidden_dim;
+  for (;;) {
+    Message msg;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_consumer_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      msg = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const std::uint64_t idx = completed_;  // ring index of this message
+    if (msg.kind == Message::Kind::kModel) {
+      model_ = std::move(*msg.model);
+    } else {
+      PHFTL_CHECK_MSG(model_.deployed(),
+                      "predict enqueued before the first model swap");
+      std::int8_t* hp = shadow_.data() + msg.lpn * h;
+      const int cls =
+          model_.predict_incremental(msg.x, std::span<std::int8_t>(hp, h));
+      slots_[msg.lpn].store(((idx + 1) << 1) |
+                                static_cast<std::uint64_t>(cls & 1),
+                            std::memory_order_release);
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    cv_producer_.notify_all();
+  }
+}
+
+}  // namespace phftl::core

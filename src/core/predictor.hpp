@@ -1,0 +1,134 @@
+// Asynchronous Page Classifier pipeline — prediction off the write path.
+//
+// The paper's device model (Fig. 7) runs the GRU inside the SSD controller,
+// off the host's I/O completion path; SepBIT and LearnedFTL (PAPERS.md)
+// likewise treat inference as an activity the write path must never wait
+// for. This class realizes that: the write path enqueues one feature vector
+// per host write into a bounded SPSC queue and a background thread runs the
+// int8 GRU, maintaining a *shadow* hidden-state table and publishing each
+// page's freshest classification.
+//
+// Determinism contract (tests/test_predictor.cpp):
+//   The classification consumed for a write depends only on the trace, not
+//   on thread timing. The producer assigns every message a ring index n and
+//   blocks until the consumer has completed message n+1-S (S = staleness
+//   window), so "is page p's previous prediction available?" is the pure
+//   arithmetic `last_index(p) <= n - S` — identical whether the consumer is
+//   instant or saturated. Writes whose previous prediction is still inside
+//   the staleness window fall back to the deployed threshold decision in
+//   the caller (ml.predict_stale counts them).
+//
+// Note the published class for page p is from p's *previous* write (the
+// consumer has not seen the current one yet) — prediction is one generation
+// stale by construction, the price of leaving the write path. The shadow
+// hidden table, not the meta store, is the canonical hidden-state chain in
+// async mode; OOB/meta copies lag it (docs/ARCHITECTURE.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/meta.hpp"
+#include "ml/qgru.hpp"
+#include "util/thread_pool.hpp"
+
+namespace phftl::core {
+
+class AsyncPredictor {
+ public:
+  struct Config {
+    std::uint64_t logical_pages = 0;
+    std::size_t hidden_dim = 32;
+    /// Staleness window S: ring capacity, and the number of ring messages
+    /// after which a prediction is guaranteed published. Smaller = fresher
+    /// decisions but more producer stalls.
+    std::size_t staleness = 64;
+  };
+
+  explicit AsyncPredictor(const Config& cfg);
+  ~AsyncPredictor();
+
+  AsyncPredictor(const AsyncPredictor&) = delete;
+  AsyncPredictor& operator=(const AsyncPredictor&) = delete;
+
+  /// Ring index the next enqueued message will get. Pure read; the caller
+  /// (single producer) uses it for the staleness arithmetic.
+  std::uint64_t next_index() const { return enqueued_; }
+
+  /// Block until the ring has room for one more message (consumer has
+  /// completed index next_index() - S). After this returns, any message
+  /// with index <= next_index() - S is fully processed and its published
+  /// class is visible to this thread.
+  void wait_capacity();
+
+  /// Read page `lpn`'s published classification, asserting it came from
+  /// ring message `idx` (the caller proved idx <= next_index() - S via
+  /// wait_capacity, so the slot cannot be older or missing).
+  int published_class(Lpn lpn, std::uint64_t idx) const;
+
+  /// Enqueue one prediction (feature vector of kInputDim floats). Caller
+  /// must have called wait_capacity() since the last enqueue.
+  void enqueue_predict(Lpn lpn, const float* x);
+
+  /// Enqueue a model swap; takes effect in ring order, so predictions
+  /// enqueued before the swap still use the old model — exactly the
+  /// deploy-point semantics the caller sequenced.
+  void enqueue_model(ml::QuantizedGru model);
+
+  /// Block until every enqueued message has been processed.
+  void drain();
+
+  /// Post-recovery reset: drain, then zero the shadow hidden table and all
+  /// published classes. Caller must also forget its per-page indices.
+  void reset();
+
+  /// Predict messages processed so far (diagnostic; exact after drain()).
+  std::uint64_t processed_predictions() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Message {
+    enum class Kind : std::uint8_t { kPredict, kModel };
+    Kind kind = Kind::kPredict;
+    Lpn lpn = 0;
+    std::array<float, kInputDim> x{};
+    std::unique_ptr<ml::QuantizedGru> model;  // kModel only
+  };
+
+  void consume();  // worker loop
+
+  Config cfg_;
+
+  std::mutex mu_;
+  std::condition_variable cv_producer_;  // capacity / drain
+  std::condition_variable cv_consumer_;  // queue non-empty / stop
+  std::deque<Message> queue_;            // FIFO; size bounded by staleness
+  std::uint64_t enqueued_ = 0;           // ring index of next message
+  std::uint64_t completed_ = 0;          // messages fully processed
+  bool stopping_ = false;
+
+  /// Per-page published classification: ((ring_index + 1) << 1) | class,
+  /// 0 = never published. Written by the consumer (release), read by the
+  /// producer only after the mutex has proven completion (acquire).
+  std::vector<std::atomic<std::uint64_t>> slots_;
+  std::atomic<std::uint64_t> processed_{0};
+
+  // Consumer-owned state (no lock needed: single consumer thread, and the
+  // main thread touches it only in reset() after a drain).
+  ml::QuantizedGru model_;
+  std::vector<std::int8_t> shadow_;  // logical_pages x hidden_dim
+
+  // Worker last: joined (via pool destruction) before members above die.
+  util::ThreadPool pool_{1};
+  std::future<void> worker_;
+};
+
+}  // namespace phftl::core

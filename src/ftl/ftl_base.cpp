@@ -231,7 +231,7 @@ SubmitResult FtlBase::submit_checked(const HostRequest& req) {
   ctx.is_sequential = (req.start_lpn == prev_req_end_);
   for (std::uint32_t i = 0; i < req.num_pages; ++i) {
     ctx.now = virtual_clock_;
-    if (write_page_impl(req.start_lpn + i, ctx, /*checked=*/true) ==
+    if (host_write_page(req.start_lpn + i, ctx, /*checked=*/true) ==
         WriteResult::kEnospc) {
       res.status = WriteResult::kEnospc;
       res.pages_completed = i;
@@ -245,11 +245,11 @@ SubmitResult FtlBase::submit_checked(const HostRequest& req) {
 }
 
 void FtlBase::write_page(Lpn lpn, const WriteContext& ctx) {
-  write_page_impl(lpn, ctx, /*checked=*/false);
+  host_write_page(lpn, ctx, /*checked=*/false);
 }
 
 WriteResult FtlBase::try_write_page(Lpn lpn, const WriteContext& ctx) {
-  return write_page_impl(lpn, ctx, /*checked=*/true);
+  return host_write_page(lpn, ctx, /*checked=*/true);
 }
 
 WriteResult FtlBase::write_page_impl(Lpn lpn, const WriteContext& ctx_in,
@@ -324,6 +324,7 @@ bool FtlBase::trim_page(Lpn lpn) {
 
 std::uint64_t FtlBase::trim_range(Lpn start, std::uint64_t n) {
   PHFTL_CHECK(start + n <= logical_pages_);
+  on_host_trim(start, n);
   // Unmap in RAM first, collecting the *effective* runs (pages that were
   // actually mapped); already-unmapped pages are no-ops and neither counted
   // nor journaled. The loop is sequential, so each run is contiguous.

@@ -34,13 +34,33 @@ GruClassifier::GruClassifier(const Config& cfg)
   for (std::size_t id : {wz_, wr_, wn_, uz_, ur_, un_, wo_})
     store_.init_glorot(id, rng);
   adam_ = Adam(store_.size(), cfg.adam);
+
+  const std::size_t hd = cfg.hidden_dim;
+  ws_.z.resize(hd);
+  ws_.r.resize(hd);
+  ws_.n.resize(hd);
+  ws_.s.resize(hd);
+  ws_.logits.resize(cfg.num_classes);
+  ws_.probs.resize(cfg.num_classes);
+  ws_.dlogits.resize(cfg.num_classes);
+  ws_.dh.resize(hd);
+  ws_.dz.resize(hd);
+  ws_.dr.resize(hd);
+  ws_.dn.resize(hd);
+  ws_.ds.resize(hd);
+  ws_.daz.resize(hd);
+  ws_.dar.resize(hd);
+  ws_.dan.resize(hd);
+  ws_.dh_prev.resize(hd);
+  ws_.zero_h.assign(hd, 0.0f);  // read-only zeros (t = 0 hidden state)
+  ws_.h_seq.resize(hd);
 }
 
 void GruClassifier::step(std::span<const float> x,
                          std::span<const float> h_prev,
                          std::span<float> h_next) const {
   const std::size_t h = cfg_.hidden_dim;
-  std::vector<float> z(h), r(h), n(h), s(h);
+  std::vector<float>&z = ws_.z, &r = ws_.r, &n = ws_.n, &s = ws_.s;
 
   matvec(store_.param_matrix(wz_), x, z);
   matvec_acc(store_.param_matrix(uz_), h_prev, z);
@@ -70,9 +90,10 @@ void GruClassifier::head(std::span<const float> h,
 
 int GruClassifier::predict_sequence(
     const std::vector<std::vector<float>>& steps) const {
-  std::vector<float> h(cfg_.hidden_dim, 0.0f);
+  std::vector<float>& h = ws_.h_seq;
+  fill(h, 0.0f);
   for (const auto& x : steps) step(x, h, h);
-  std::vector<float> logits(cfg_.num_classes);
+  std::vector<float>& logits = ws_.logits;
   head(h, logits);
   return static_cast<int>(
       std::max_element(logits.begin(), logits.end()) - logits.begin());
@@ -81,7 +102,7 @@ int GruClassifier::predict_sequence(
 int GruClassifier::predict_incremental(std::span<const float> x,
                                        std::span<float> h_inout) const {
   step(x, h_inout, h_inout);
-  std::vector<float> logits(cfg_.num_classes);
+  std::vector<float>& logits = ws_.logits;
   head(h_inout, logits);
   return static_cast<int>(
       std::max_element(logits.begin(), logits.end()) - logits.begin());
@@ -93,32 +114,35 @@ float GruClassifier::backward_sequence(const Sequence& seq) {
   PHFTL_CHECK(steps > 0);
 
   // ---- Forward pass, caching activations per step. ----
-  std::vector<StepActs> acts(steps);
-  std::vector<float> h_prev(hd, 0.0f);
+  // The activation cache and every temporary live in ws_ (see gru.hpp):
+  // buffers are fully rewritten before each read, inputs are referenced
+  // from seq.steps instead of copied, and `dh = dh_prev` became a swap —
+  // none of which changes a single float operation.
+  if (ws_.acts.size() < steps) ws_.acts.resize(steps);
+  std::span<const float> h_prev = ws_.zero_h;
   for (std::size_t t = 0; t < steps; ++t) {
-    StepActs& a = acts[t];
+    StepActs& a = ws_.acts[t];
     const auto& x = seq.steps[t];
     PHFTL_CHECK(x.size() == cfg_.input_dim);
-    a.x = x;
-    a.z.assign(hd, 0.0f);
-    a.r.assign(hd, 0.0f);
-    a.n.assign(hd, 0.0f);
-    a.s.assign(hd, 0.0f);
-    a.h.assign(hd, 0.0f);
+    a.z.resize(hd);
+    a.r.resize(hd);
+    a.n.resize(hd);
+    a.s.resize(hd);
+    a.h.resize(hd);
 
-    matvec(store_.param_matrix(wz_), a.x, a.z);
+    matvec(store_.param_matrix(wz_), x, a.z);
     matvec_acc(store_.param_matrix(uz_), h_prev, a.z);
     axpy(1.0f, store_.param_vector(bz_), a.z);
     for (auto& v : a.z) v = sigmoidf(v);
 
-    matvec(store_.param_matrix(wr_), a.x, a.r);
+    matvec(store_.param_matrix(wr_), x, a.r);
     matvec_acc(store_.param_matrix(ur_), h_prev, a.r);
     axpy(1.0f, store_.param_vector(br_), a.r);
     for (auto& v : a.r) v = sigmoidf(v);
 
     matvec(store_.param_matrix(un_), h_prev, a.s);
     axpy(1.0f, store_.param_vector(bun_), a.s);
-    matvec(store_.param_matrix(wn_), a.x, a.n);
+    matvec(store_.param_matrix(wn_), x, a.n);
     axpy(1.0f, store_.param_vector(bn_), a.n);
     for (std::size_t i = 0; i < hd; ++i)
       a.n[i] = std::tanh(a.n[i] + a.r[i] * a.s[i]);
@@ -129,29 +153,34 @@ float GruClassifier::backward_sequence(const Sequence& seq) {
   }
 
   // ---- Head + loss. ----
-  std::vector<float> logits(cfg_.num_classes), probs(cfg_.num_classes);
-  head(acts.back().h, logits);
+  std::vector<float>& logits = ws_.logits;
+  std::vector<float>& probs = ws_.probs;
+  const StepActs& last = ws_.acts[steps - 1];
+  head(last.h, logits);
   const float loss = softmax_cross_entropy(logits, seq.label, probs);
 
   // dlogits = probs - onehot(label)
-  std::vector<float> dlogits = probs;
+  std::vector<float>& dlogits = ws_.dlogits;
+  std::copy(probs.begin(), probs.end(), dlogits.begin());
   dlogits[static_cast<std::size_t>(seq.label)] -= 1.0f;
 
-  outer_acc(dlogits, acts.back().h, store_.grad_matrix(wo_));
+  outer_acc(dlogits, last.h, store_.grad_matrix(wo_));
   axpy(1.0f, dlogits, store_.grad_vector(bo_));
 
-  std::vector<float> dh(hd, 0.0f);
-  matvec_transpose_acc(store_.param_matrix(wo_), dlogits, dh);
+  fill(ws_.dh, 0.0f);
+  matvec_transpose_acc(store_.param_matrix(wo_), dlogits, ws_.dh);
 
   // ---- BPTT. ----
-  std::vector<float> dz(hd), dr(hd), dn(hd), ds(hd), daz(hd), dar(hd),
-      dan(hd), dh_prev(hd);
-  const std::vector<float> zero_h(hd, 0.0f);
+  std::vector<float>&dz = ws_.dz, &dr = ws_.dr, &dn = ws_.dn, &ds = ws_.ds;
+  std::vector<float>&daz = ws_.daz, &dar = ws_.dar, &dan = ws_.dan;
   for (std::size_t ti = steps; ti-- > 0;) {
-    const StepActs& a = acts[ti];
+    std::vector<float>& dh = ws_.dh;
+    std::vector<float>& dh_prev = ws_.dh_prev;
+    const StepActs& a = ws_.acts[ti];
+    const auto& x = seq.steps[ti];
     std::span<const float> h_before =
-        ti == 0 ? std::span<const float>(zero_h)
-                : std::span<const float>(acts[ti - 1].h);
+        ti == 0 ? std::span<const float>(ws_.zero_h)
+                : std::span<const float>(ws_.acts[ti - 1].h);
 
     fill(dh_prev, 0.0f);
     for (std::size_t i = 0; i < hd; ++i) {
@@ -167,23 +196,23 @@ float GruClassifier::backward_sequence(const Sequence& seq) {
       dar[i] = dr[i] * a.r[i] * (1.0f - a.r[i]);
     }
 
-    outer_acc(dan, a.x, store_.grad_matrix(wn_));
+    outer_acc(dan, x, store_.grad_matrix(wn_));
     axpy(1.0f, dan, store_.grad_vector(bn_));
     outer_acc(ds, h_before, store_.grad_matrix(un_));
     axpy(1.0f, ds, store_.grad_vector(bun_));
     matvec_transpose_acc(store_.param_matrix(un_), ds, dh_prev);
 
-    outer_acc(daz, a.x, store_.grad_matrix(wz_));
+    outer_acc(daz, x, store_.grad_matrix(wz_));
     outer_acc(daz, h_before, store_.grad_matrix(uz_));
     axpy(1.0f, daz, store_.grad_vector(bz_));
     matvec_transpose_acc(store_.param_matrix(uz_), daz, dh_prev);
 
-    outer_acc(dar, a.x, store_.grad_matrix(wr_));
+    outer_acc(dar, x, store_.grad_matrix(wr_));
     outer_acc(dar, h_before, store_.grad_matrix(ur_));
     axpy(1.0f, dar, store_.grad_vector(br_));
     matvec_transpose_acc(store_.param_matrix(ur_), dar, dh_prev);
 
-    dh = dh_prev;
+    std::swap(ws_.dh, ws_.dh_prev);
   }
   return loss;
 }

@@ -98,8 +98,26 @@ class GruClassifier {
 
  private:
   struct StepActs {
-    std::vector<float> x, z, r, n, h, s;  // s = Un h_prev + bun
+    std::vector<float> z, r, n, h, s;  // s = Un h_prev + bun
   };
+
+  /// Scratch reused across step/backward/predict calls. Training replays a
+  /// window thousands of times per run, and per-call vector allocation was
+  /// the dominant non-arithmetic cost; the buffers grow to the longest
+  /// sequence seen and are then reused allocation-free. Every element the
+  /// math reads is (re)written before use and the float operation order is
+  /// untouched, so results are bit-identical to the historical
+  /// allocate-per-call implementation. Mutable because prediction is
+  /// logically const; one instance must not be used from two threads at
+  /// once (async training clones the model per job).
+  struct Workspace {
+    std::vector<float> z, r, n, s;                  // step()
+    std::vector<StepActs> acts;                     // backward forward pass
+    std::vector<float> logits, probs, dlogits, dh;  // head + BPTT seeds
+    std::vector<float> dz, dr, dn, ds, daz, dar, dan, dh_prev, zero_h;
+    std::vector<float> h_seq;                       // predict_sequence
+  };
+  mutable Workspace ws_;
 
   Config cfg_;
   ParamStore store_;
