@@ -35,7 +35,7 @@ namespace detail {
 /// Process-global metrics artifact. Every recorded run appends one entry; a
 /// single `${PHFTL_METRICS_DIR}/BENCH_metrics.json` is flushed when the
 /// bench binary exits. One artifact per binary (schema
-/// "phftl-bench-metrics/1", documented in docs/EXPERIMENTS.md) lets perf PRs
+/// "phftl-bench-metrics/1", documented in EXPERIMENTS.md) lets perf PRs
 /// diff full metric sets across commits instead of collecting a directory of
 /// per-run side files. add() is serialized by a mutex; ExperimentRunner
 /// additionally calls it only after joining its futures, in grid order, so
@@ -116,11 +116,20 @@ struct RunOptions {
       core::PhftlConfig::PredictMode::kSync;
   std::uint32_t predict_batch = 32;
   std::uint32_t async_staleness = 64;
+  /// GC scheduling policy (docs/QOS.md): stop-the-world reclaims whole
+  /// victims inside the triggering write; time-sliced bounds each write to
+  /// gc_step_pages relocations once above the urgent floor.
+  GcMode gc_mode = GcMode::kStopTheWorld;
+  /// Per-step relocation budget for kTimeSliced; 0 keeps FtlConfig's default.
+  std::uint64_t gc_step_pages = 0;
 };
 
 inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
-                                            const FtlConfig& cfg,
+                                            const FtlConfig& base_cfg,
                                             const RunOptions& opts) {
+  FtlConfig cfg = base_cfg;
+  cfg.gc_mode = opts.gc_mode;
+  if (opts.gc_step_pages > 0) cfg.gc_step_pages = opts.gc_step_pages;
   if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
   if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
   if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);
@@ -172,7 +181,7 @@ inline SuiteRunResult run_suite_trace(const SuiteTraceSpec& spec,
 
   // With PHFTL_METRICS_DIR set, every run's full metric dump is embedded in
   // a single <dir>/BENCH_metrics.json artifact flushed at process exit
-  // (schema "phftl-bench-metrics/1" — docs/EXPERIMENTS.md).
+  // (schema "phftl-bench-metrics/1" — EXPERIMENTS.md).
   auto& artifact = detail::MetricsArtifact::instance();
   if (artifact.enabled() || opts.capture_metrics) {
     ftl->refresh_observability();

@@ -1,0 +1,234 @@
+// Tail-latency comparison: stop-the-world vs time-sliced GC (docs/QOS.md).
+//
+// For every scheme (Base/2R/SepBIT/PHFTL) on the two Fig. 7 traces (#144
+// high-WA, #52 low-WA), replay the trace tail on the device timing model
+// twice — once with GC running whole victims inside the triggering write
+// (GcMode::kStopTheWorld) and once with GC bounded to gc_step_pages
+// relocations per host write (GcMode::kTimeSliced) — and report the host
+// latency distribution plus WA for each. The QoS contract under test:
+// time-sliced GC must cut P99/P99.9 (no request waits behind a whole
+// victim) while staying WA-neutral to within 1 % (the cursor-based round
+// relocates the same valid pages, minus any the host invalidates mid-round).
+//
+// Method (mirrors bench_fig7): age the device by stress-loading the first
+// 90 % of the trace, calibrate the open-loop arrival scale off the
+// stop-the-world run (~65 % of its aged service rate), then reuse that
+// scale for the time-sliced run so both see identical arrivals.
+//
+// Usage: bench_gc_latency [--jobs N] [--step-pages N] [--out <path>]
+// Writes BENCH_gc_latency.json (schema "phftl-bench-gc-latency/1" — see
+// EXPERIMENTS.md).
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "device/replayer.hpp"
+#include "trace/alibaba_suite.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace phftl;
+
+struct ModeResult {
+  Phase2Result lat;
+  double wa = 0.0;
+  std::uint64_t gc_steps = 0;
+  std::uint64_t gc_preemptions = 0;
+};
+
+struct CellResult {
+  std::string trace_id;
+  std::string scheme;
+  ModeResult stw;      // stop-the-world
+  ModeResult sliced;   // time-sliced
+  std::string report;  // rendered table, printed in grid order
+};
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+/// One (trace, scheme) cell: STW first (calibrates the arrival scale),
+/// then time-sliced under the identical arrival process.
+CellResult run_cell(const SuiteTraceSpec& spec, const std::string& scheme,
+                    double drive_writes, std::uint64_t step_pages) {
+  const FtlConfig cfg = suite_ftl_config(spec);
+  const Trace trace = make_suite_trace(spec, drive_writes);
+  const auto segment = static_cast<std::uint64_t>(
+      static_cast<double>(trace.total_write_pages()) / drive_writes);
+
+  // Head ages the device; the rebased tail is the measured open-loop phase.
+  const std::size_t tail_start = trace.ops.size() * 9 / 10;
+  Trace head, tail;
+  head.name = tail.name = trace.name;
+  head.logical_pages = tail.logical_pages = trace.logical_pages;
+  head.ops.assign(trace.ops.begin(),
+                  trace.ops.begin() + static_cast<std::ptrdiff_t>(tail_start));
+  tail.ops.assign(trace.ops.begin() + static_cast<std::ptrdiff_t>(tail_start),
+                  trace.ops.end());
+  const std::uint64_t t0 = tail.ops.front().timestamp_us;
+  for (auto& op : tail.ops) op.timestamp_us -= t0;
+  const double tail_duration_ns =
+      static_cast<double>(tail.ops.back().timestamp_us) * 1000.0;
+
+  CellResult cell;
+  cell.trace_id = spec.id;
+  cell.scheme = scheme;
+
+  double time_scale = 1.0;  // set by the STW run, reused for time-sliced
+  for (const GcMode mode : {GcMode::kStopTheWorld, GcMode::kTimeSliced}) {
+    bench::RunOptions opts;
+    opts.time_predictions = false;
+    opts.record_artifact = false;
+    opts.gc_mode = mode;
+    opts.gc_step_pages = step_pages;
+    auto ftl = bench::make_scheme(scheme, cfg, opts);
+    TimedReplayer replayer(*ftl, DeviceTimingConfig{});
+
+    const Phase1Result aged = replayer.stress_load(head, segment);
+    if (mode == GcMode::kStopTheWorld) {
+      // Offered load at ~65 % of the aged stop-the-world service rate
+      // (bench_fig7's calibration), corrected by the first-to-last
+      // drive-write slowdown the head understates.
+      const double service_per_op = static_cast<double>(aged.total_sim_ns) /
+                                    static_cast<double>(head.ops.size());
+      const double slowdown =
+          aged.bandwidth_mb_s.size() >= 2 && aged.bandwidth_mb_s.back() > 0
+              ? aged.bandwidth_mb_s.front() / aged.bandwidth_mb_s.back()
+              : 1.0;
+      const double tail_arrival_per_op =
+          tail_duration_ns / static_cast<double>(tail.ops.size());
+      time_scale = service_per_op * slowdown / (0.65 * tail_arrival_per_op);
+      if (time_scale < 1e-6) time_scale = 1e-6;
+    }
+
+    ModeResult& r = mode == GcMode::kStopTheWorld ? cell.stw : cell.sliced;
+    r.lat = replayer.timed_replay(tail, time_scale);
+    ftl->drain();  // finish a preempted round before reading final stats
+    const FtlStats& s = ftl->stats();
+    r.wa = s.write_amplification();
+    r.gc_steps = s.gc_steps;
+    r.gc_preemptions = s.gc_preemptions;
+  }
+
+  std::ostringstream out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "=== %s / %s (step budget %llu pages) ===\n",
+                spec.id.c_str(), scheme.c_str(),
+                static_cast<unsigned long long>(step_pages));
+  out << buf;
+  TextTable t;
+  t.header({"gc mode", "P50 us", "P99 us", "P99.9 us", "WA", "steps",
+            "yields"});
+  const ModeResult* rows[2] = {&cell.stw, &cell.sliced};
+  const char* names[2] = {"stop-the-world", "time-sliced"};
+  for (int i = 0; i < 2; ++i) {
+    t.row({names[i], TextTable::num(rows[i]->lat.p50_us, 1),
+           TextTable::num(rows[i]->lat.p99_us, 1),
+           TextTable::num(rows[i]->lat.p999_us, 1),
+           TextTable::num(rows[i]->wa, 4), std::to_string(rows[i]->gc_steps),
+           std::to_string(rows[i]->gc_preemptions)});
+  }
+  t.render(out);
+  const double p99_delta =
+      cell.stw.lat.p99_us > 0
+          ? (cell.sliced.lat.p99_us / cell.stw.lat.p99_us - 1.0) * 100.0
+          : 0.0;
+  const double wa_delta =
+      cell.stw.wa > 0 ? (cell.sliced.wa / cell.stw.wa - 1.0) * 100.0 : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "time-sliced: P99 %+.1f%%, WA %+.2f%% vs stop-the-world\n\n",
+                p99_delta, wa_delta);
+  out << buf;
+  cell.report = out.str();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long cli_jobs = 4;
+  std::uint64_t step_pages = 8;
+  std::string out_path = "BENCH_gc_latency.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      cli_jobs = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--step-pages" && i + 1 < argc) {
+      step_pages = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--step-pages N] [--out <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (step_pages == 0) step_pages = 8;
+  const unsigned jobs = cli_jobs <= 0 ? 4 : static_cast<unsigned>(cli_jobs);
+  const double drive_writes = drive_writes_from_env(4.0);
+
+  const std::vector<std::string> trace_ids = {"#144", "#52"};
+  const std::vector<std::string> schemes = {"Base", "2R", "SepBIT", "PHFTL"};
+  std::printf("GC scheduling tail latency: %zu traces x %zu schemes, "
+              "%.1f drive writes, step budget %llu pages, %u jobs\n\n",
+              trace_ids.size(), schemes.size(), drive_writes,
+              static_cast<unsigned long long>(step_pages), jobs);
+
+  phftl::util::ThreadPool pool(jobs);
+  std::vector<std::future<CellResult>> futures;
+  for (const auto& id : trace_ids)
+    for (const auto& scheme : schemes)
+      futures.push_back(pool.submit([&spec = suite_spec(id), scheme,
+                                     drive_writes, step_pages] {
+        return run_cell(spec, scheme, drive_writes, step_pages);
+      }));
+  std::vector<CellResult> cells;
+  for (auto& f : futures) cells.push_back(f.get());
+  for (const auto& cell : cells) std::fputs(cell.report.c_str(), stdout);
+
+  std::ostringstream js;
+  js << "{\n  \"schema\": \"phftl-bench-gc-latency/1\",\n"
+     << "  \"drive_writes\": " << json_num(drive_writes) << ",\n"
+     << "  \"gc_step_pages\": " << step_pages << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    auto mode_json = [&](const char* name, const ModeResult& r) {
+      js << "      \"" << name << "\": {\"p50_us\": " << json_num(r.lat.p50_us)
+         << ", \"p90_us\": " << json_num(r.lat.p90_us)
+         << ", \"p99_us\": " << json_num(r.lat.p99_us)
+         << ", \"p999_us\": " << json_num(r.lat.p999_us)
+         << ", \"mean_us\": " << json_num(r.lat.mean_us)
+         << ", \"wa\": " << json_num(r.wa) << ", \"gc_steps\": " << r.gc_steps
+         << ", \"gc_preemptions\": " << r.gc_preemptions << "}";
+    };
+    js << "    {\"trace\": \"" << c.trace_id << "\", \"scheme\": \""
+       << c.scheme << "\",\n";
+    mode_json("stop_the_world", c.stw);
+    js << ",\n";
+    mode_json("time_sliced", c.sliced);
+    const double p99_ratio = c.stw.lat.p99_us > 0
+                                 ? c.sliced.lat.p99_us / c.stw.lat.p99_us
+                                 : 1.0;
+    const double wa_ratio = c.stw.wa > 0 ? c.sliced.wa / c.stw.wa : 1.0;
+    js << ",\n      \"p99_ratio\": " << json_num(p99_ratio)
+       << ", \"wa_ratio\": " << json_num(wa_ratio) << "\n    }"
+       << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  js << "  ]\n}\n";
+  if (!obs::write_text_file(out_path, js.str())) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -4,7 +4,7 @@
 // reproduce sync's WA bit-for-bit, async reports its WA delta), plus the
 // meta-cache fast-path microbenchmark, written to a schema-versioned
 // artifact (BENCH_replay.json, schema "phftl-bench-replay/2" — see
-// docs/EXPERIMENTS.md).
+// EXPERIMENTS.md).
 //
 // Usage: bench_replay [--jobs N] [--out <path>]
 //   --jobs  parallel job count for the comparison run (default 4; the

@@ -12,6 +12,7 @@
 //                [--fault-seed <n>] [--trim-fraction <f>]
 //                [--predict-mode sync|batched|async] [--predict-batch <K>]
 //                [--staleness <S>]
+//                [--gc-mode stop_the_world|time_sliced] [--gc-step-pages <N>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
@@ -35,6 +36,9 @@
 //     to sync — docs/ARCHITECTURE.md "Prediction pipeline")
 //   trace_replay --scheme PHFTL --predict-mode async --staleness 64
 //     (background predictor thread; deterministic for a fixed staleness)
+//   trace_replay --scheme all --gc-mode time_sliced --gc-step-pages 8
+//     (preemptive GC: each host write advances the in-flight victim by at
+//     most N relocations instead of paying for a whole round — docs/QOS.md)
 //
 // Writes are submitted through submit_checked(): if the drive's capacity
 // watermark rejects part of a request (ENOSPC, docs/RECOVERY.md "Capacity
@@ -80,6 +84,8 @@ void usage() {
                "                    [--trim-fraction <f>]\n"
                "                    [--predict-mode sync|batched|async] "
                "[--predict-batch <K>] [--staleness <S>]\n"
+               "                    [--gc-mode stop_the_world|time_sliced] "
+               "[--gc-step-pages <N>]\n"
                "  (--scheme all replays every scheme; file outputs require a "
                "single scheme)\n");
   std::exit(2);
@@ -221,7 +227,7 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
       "  GC copies             %llu pages\n"
       "  meta-page writes      %llu\n"
       "  erases                %llu (max wear %llu)\n"
-      "  GC invocations        %llu\n"
+      "  GC invocations        %llu (%llu steps, %llu preemptions)\n"
       "  host reads            %llu\n"
       "  effective trims       %llu pages\n"
       "  trim journal          %llu page writes, %llu compactions\n",
@@ -232,6 +238,8 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
       static_cast<unsigned long long>(s.erases),
       static_cast<unsigned long long>(ftl->flash().max_erase_count()),
       static_cast<unsigned long long>(s.gc_invocations),
+      static_cast<unsigned long long>(s.gc_steps),
+      static_cast<unsigned long long>(s.gc_preemptions),
       static_cast<unsigned long long>(s.host_reads),
       static_cast<unsigned long long>(s.trims),
       static_cast<unsigned long long>(s.journal_writes),
@@ -313,6 +321,8 @@ int main(int argc, char** argv) {
   double drive_writes = 4.0;
   double trim_fraction = -1.0;  // < 0: keep the suite trace's own fraction
   long cli_jobs = -1;
+  GcMode gc_mode = GcMode::kStopTheWorld;
+  std::uint64_t gc_step_pages = 0;  // 0: keep the FtlConfig default
   ReplayOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -361,6 +371,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--staleness") {
       opt.staleness =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--gc-mode") {
+      const std::string mode = next();
+      if (mode == "stop_the_world") gc_mode = GcMode::kStopTheWorld;
+      else if (mode == "time_sliced") gc_mode = GcMode::kTimeSliced;
+      else usage();
+    } else if (arg == "--gc-step-pages") {
+      gc_step_pages = std::strtoull(next(), nullptr, 10);
+      if (gc_step_pages == 0) usage();
     } else usage();
   }
 
@@ -382,6 +400,8 @@ int main(int argc, char** argv) {
     cfg = suite_ftl_config(spec);
     trace = make_suite_trace(spec, drive_writes);
   }
+  cfg.gc_mode = gc_mode;
+  if (gc_step_pages > 0) cfg.gc_step_pages = gc_step_pages;
 
   if (!export_path.empty()) {
     if (!write_trace_csv_file(trace, export_path)) {

@@ -456,6 +456,7 @@ void PhftlFtl::drain() {
     if (train_pending_) apply_async_training();
     predictor_->drain();
   }
+  FtlBase::drain();  // complete a preempted time-sliced GC round
 }
 
 void PhftlFtl::async_train_tick() {

@@ -38,6 +38,14 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
           cfg.gc_free_threshold +
       0.999);
   gc_trigger_count_ = std::max<std::uint64_t>(ratio_count, 2);
+  // Time-sliced urgent floor: half the trigger, never below the two
+  // superblocks a write + concurrent GC appends can consume before the
+  // next maybe_gc(). Between the floor and the trigger GC yields to the
+  // host after each bounded step; below it, rounds complete synchronously
+  // (docs/QOS.md "Safety argument"). With a 2-superblock trigger the floor
+  // equals the trigger and time-sliced mode degenerates to stop-the-world.
+  gc_urgent_count_ =
+      std::max<std::uint64_t>(gc_trigger_count_ / 2, 2);
   const auto op_superblocks = static_cast<std::uint64_t>(
       static_cast<double>(cfg.geom.num_superblocks()) * cfg.op_ratio);
   PHFTL_CHECK_MSG(
@@ -80,6 +88,14 @@ void FtlBase::register_ftl_metrics() {
   gc_moved_ctr_ = &m.counter("ftl.gc.moved_valid_pages", "pages",
                              "valid pages migrated out of GC victims (the "
                              "numerator of write amplification)");
+  gc_steps_ctr_ =
+      &m.counter("ftl.gc.steps", "steps",
+                 "bounded GC relocation slices (one per round under "
+                 "stop-the-world; many under time-sliced GC)");
+  gc_preempt_ctr_ =
+      &m.counter("ftl.gc.preemptions", "yields",
+                 "time-sliced GC steps that hit their page budget and "
+                 "yielded back to the host with the round unfinished");
   erases_ctr_ = &m.counter("ftl.erases", "superblocks", "superblock erases");
   meta_writes_ctr_ = &m.counter("ftl.meta_writes", "pages",
                                 "ML meta pages programmed (PHFTL only)");
@@ -166,6 +182,10 @@ void FtlBase::register_ftl_metrics() {
                "(writes past it are rejected with ENOSPC)");
   mapped_gauge_ =
       &m.gauge("ftl.mapped_pages", "pages", "logical pages currently mapped");
+  gc_inflight_moved_gauge_ =
+      &m.gauge("ftl.gc.inflight_valid_moved", "pages",
+               "valid pages the preempted in-flight GC round has relocated "
+               "so far (0 when no round is in flight)");
 }
 
 void FtlBase::refresh_observability() {
@@ -179,6 +199,7 @@ void FtlBase::refresh_observability() {
   journal_sbs_gauge_->set(static_cast<double>(journal_sbs_.size()));
   watermark_gauge_->set(static_cast<double>(capacity_watermark_pages()));
   mapped_gauge_->set(static_cast<double>(mapped_count_));
+  gc_inflight_moved_gauge_->set(static_cast<double>(gc_round_moved_));
 }
 
 std::uint64_t FtlBase::capacity_watermark_pages() const {
@@ -818,6 +839,16 @@ RecoveryReport FtlBase::recover() {
   prev_req_end_ = kInvalidLpn;
   in_gc_ = false;
   in_compaction_ = false;
+  // A cut mid-GC-step (or between steps of a preempted time-sliced round)
+  // leaves a half-relocated victim. No special handling is needed beyond
+  // forgetting the round: pages already moved win the OOB rebuild by
+  // program_seq (GC copies carry fresh sequence numbers), pages not yet
+  // moved are still valid in the victim, and the victim is kClosed so the
+  // rebuild's pass 3 re-inserts it into the victim index at its remaining
+  // valid count — a future round simply collects it again (docs/QOS.md).
+  gc_victim_ = kNoVictim;
+  gc_cursor_ = 0;
+  gc_round_moved_ = 0;
 
   // Step 3: base mapping / validity / victim-index rebuild from OOB. This
   // also detects the journal superblocks (pages with kind == kTrimJournal).
@@ -885,15 +916,52 @@ RecoveryReport FtlBase::recover() {
 
 void FtlBase::maybe_gc() {
   if (in_gc_) return;
+  // Urgent phase (both modes): complete whole rounds — finishing a
+  // preempted one first — until the free pool is back above the floor.
+  // Under kStopTheWorld the floor *is* the trigger, reproducing the classic
+  // collect-until-satisfied loop; under kTimeSliced it is the lower
+  // gc_urgent_count_, guaranteeing progress even when every reclaim stalls
+  // on program failures (and that the empty-pool synchronous reclaim in
+  // append_journal_page still works).
+  const std::uint64_t floor = cfg_.gc_mode == GcMode::kStopTheWorld
+                                  ? gc_trigger_count_
+                                  : gc_urgent_count_;
   std::uint64_t rounds = 0;
-  while (free_pool_.size() < gc_trigger_count_) {
+  while (free_pool_.size() < floor) {
     PHFTL_CHECK_MSG(rounds++ < geom().num_superblocks() * 8,
                     "GC not converging");
     if (!gc_once()) break;  // nothing reclaimable right now
   }
+  if (cfg_.gc_mode == GcMode::kStopTheWorld) return;
+
+  // Time-sliced phase: between the floor and the trigger, advance the
+  // in-flight round by one bounded step and hand control back to the host.
+  // The caller's request is charged at most gc_step_pages relocations —
+  // the per-request tail-latency bound (docs/QOS.md).
+  if (free_pool_.size() >= gc_trigger_count_) return;
+  if (gc_victim_ == kNoVictim && !gc_begin_round()) return;
+  if (!gc_step(std::max<std::uint64_t>(cfg_.gc_step_pages, 1))) {
+    ++stats_.gc_preemptions;
+    gc_preempt_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kGcPreempt, virtual_clock_,
+                        gc_victim_, sb_meta_[gc_victim_].valid_count);
+  }
 }
 
 bool FtlBase::gc_once() {
+  if (gc_victim_ == kNoVictim && !gc_begin_round()) return false;
+  PHFTL_CHECK(gc_step(~0ULL));  // unbounded step always finishes the round
+  return true;
+}
+
+void FtlBase::drain() {
+  // Leave the drive quiescent: a preempted round would otherwise hold its
+  // victim out of the victim index while harnesses compare final state.
+  if (gc_victim_ != kNoVictim) PHFTL_CHECK(gc_step(~0ULL));
+}
+
+bool FtlBase::gc_begin_round() {
+  PHFTL_CHECK(gc_victim_ == kNoVictim);
   const std::uint64_t victim = pick_victim();
   if (victim == kNoVictim) {
     // No closed superblock to collect — possible when faults have retired
@@ -910,20 +978,40 @@ bool FtlBase::gc_once() {
     gc_aborted_ctr_->inc();
     return false;
   }
-  // Drop the victim from the index for the duration of the collection; the
-  // migration loop below decrements its valid count without re-bucketing,
-  // and the block leaves the closed set at the erase anyway.
+  // Drop the victim from the index for the round's whole lifetime (which
+  // under time-slicing spans host writes): the migration steps decrement
+  // its valid count without re-bucketing, host invalidations of its pages
+  // land while it is unindexed, and the block leaves the closed set at the
+  // erase anyway. Recovery re-inserts it if a cut strikes mid-round.
   victim_index_.remove(victim);
-  in_gc_ = true;
   ++stats_.gc_invocations;
+  gc_victim_ = victim;
+  gc_cursor_ = 0;
+  gc_round_moved_ = 0;
   const std::uint64_t victim_valid = sb_meta_[victim].valid_count;
   victim_valid_hist_->observe(static_cast<double>(victim_valid));
   obs_.trace().record(obs::TraceEventType::kGcRoundBegin, virtual_clock_,
                       victim, victim_valid);
+  return true;
+}
 
+bool FtlBase::gc_step(std::uint64_t budget) {
+  PHFTL_CHECK(gc_victim_ != kNoVictim);
+  PHFTL_CHECK(!in_gc_);
+  // in_gc_ is true only *during* a step: between steps, host invalidations
+  // of victim pages must look like ordinary host activity to the scheme
+  // hooks (SepBIT's lifetime tracking depends on the distinction).
+  in_gc_ = true;
+  const std::uint64_t victim = gc_victim_;
   const std::uint64_t pages = geom().pages_per_superblock();
-  for (std::uint64_t off = 0; off < pages; ++off) {
+  std::uint64_t moved = 0;
+  std::uint64_t off = gc_cursor_;
+  for (; off < pages && moved < budget; ++off) {
     const Ppn ppn = geom().make_ppn(victim, off);
+    // Skips cover both never-valid pages and pages a host write or trim
+    // invalidated since the round began — those relocations are saved,
+    // which is why time-sliced WA is bounded by stop-the-world's, not
+    // identical to it (docs/QOS.md).
     if (!valid_bit_[ppn]) continue;
     const Lpn lpn = p2l_[ppn];
     PHFTL_CHECK(lpn != kInvalidLpn && l2p_[lpn] == ppn);
@@ -950,8 +1038,23 @@ bool FtlBase::gc_once() {
     l2p_[lpn] = new_ppn;
     gc_count_[new_ppn] = new_count;
     ++stats_.gc_writes;
+    ++moved;
     on_gc_write_complete(lpn, new_ppn, oob);
   }
+  // A budget-limited step that drained the last valid page should not cost
+  // an extra no-op step next time: skim the invalid tail now.
+  while (off < pages && !valid_bit_[geom().make_ppn(victim, off)]) ++off;
+  gc_cursor_ = off;
+  gc_round_moved_ += moved;
+  ++stats_.gc_steps;
+  gc_steps_ctr_->inc();
+  obs_.trace().record(obs::TraceEventType::kGcStep, virtual_clock_, victim,
+                      moved);
+  if (off < pages) {
+    in_gc_ = false;
+    return false;  // preempted: valid pages remain beyond the cursor
+  }
+
   PHFTL_CHECK(sb_meta_[victim].valid_count == 0);
   on_superblock_erased(victim);
   if (pending_retire_[victim]) {
@@ -982,9 +1085,12 @@ bool FtlBase::gc_once() {
   }
   in_gc_ = false;
   gc_rounds_ctr_->inc();
-  gc_moved_ctr_->add(victim_valid);
+  gc_moved_ctr_->add(gc_round_moved_);
   obs_.trace().record(obs::TraceEventType::kGcRoundEnd, virtual_clock_,
-                      victim, victim_valid);
+                      victim, gc_round_moved_);
+  gc_victim_ = kNoVictim;
+  gc_cursor_ = 0;
+  gc_round_moved_ = 0;
   return true;
 }
 

@@ -34,11 +34,28 @@ namespace phftl {
 
 class FaultInjector;
 
+/// How the GC engine schedules a victim's relocation (docs/QOS.md).
+enum class GcMode : std::uint8_t {
+  /// Classic semantics: once triggered, GC relocates whole victims until
+  /// the free pool is back above the trigger. The host write that tripped
+  /// the trigger pays for every moved page.
+  kStopTheWorld,
+  /// Preemptive, time-sliced GC (Nagel et al.'s partial GC): each host
+  /// write between the urgent floor and the trigger advances the in-flight
+  /// round by at most `gc_step_pages` relocations, then yields back to the
+  /// host. The victim survives as first-class FTL state between steps.
+  kTimeSliced,
+};
+
 struct FtlConfig {
   Geometry geom;
   double op_ratio = 0.07;               ///< over-provisioning (paper: 7 %)
   double gc_free_threshold = 0.05;      ///< GC when free-superblock ratio < 5 %
   std::uint32_t max_gc_streams = 5;     ///< GC-count separation cap (paper: 5+)
+  GcMode gc_mode = GcMode::kStopTheWorld;
+  /// Valid-page relocation budget of one time-sliced GC step (the per-write
+  /// tail-latency bound; ignored under kStopTheWorld). docs/QOS.md.
+  std::uint64_t gc_step_pages = 8;
   /// Optional NAND fault injector (not owned; must outlive the FTL). When
   /// set, programs/erases may fail and the FTL exercises its degradation
   /// paths — see docs/RECOVERY.md §"Fault model".
@@ -61,6 +78,9 @@ struct RecoveryReport {
 
 class FtlBase {
  public:
+  /// "No superblock" sentinel (pick_victim abort, idle gc_inflight_victim).
+  static constexpr std::uint64_t kNoVictim = ~0ULL;
+
   FtlBase(const FtlConfig& cfg, std::uint32_t num_streams);
   virtual ~FtlBase() = default;
 
@@ -92,12 +112,13 @@ class FtlBase {
   bool trim_page(Lpn lpn);
 
   /// Flush any work the scheme buffers outside the flash + mapping state
-  /// (e.g. PHFTL's batched-prediction queue or async predictor backlog).
-  /// Harnesses call this after the last request and before reading final
-  /// statistics; schemes with nothing buffered (the default) do nothing.
+  /// (e.g. PHFTL's batched-prediction queue or async predictor backlog) and
+  /// complete an in-flight time-sliced GC round, leaving the drive
+  /// quiescent. Harnesses call this after the last request and before
+  /// reading final statistics. Overrides must finish with FtlBase::drain().
   /// Reads and trims drain implicitly — only back-to-back write streams
   /// can leave work pending.
-  virtual void drain() {}
+  virtual void drain();
 
   bool is_mapped(Lpn lpn) const { return l2p_[lpn] != kInvalidPpn; }
   Ppn lookup(Lpn lpn) const { return l2p_[lpn]; }
@@ -111,6 +132,14 @@ class FtlBase {
 
   /// Logical pages currently mapped (tracked incrementally).
   std::uint64_t mapped_page_count() const { return mapped_count_; }
+  /// Superblock a preempted time-sliced GC round is mid-way through
+  /// relocating, or kNoVictim when no round is in flight. The in-flight
+  /// victim is closed but deliberately absent from the victim index; it
+  /// re-enters either when the round finishes (erase) or at mount-time
+  /// recovery (docs/QOS.md, docs/RECOVERY.md).
+  std::uint64_t gc_inflight_victim() const { return gc_victim_; }
+  /// Valid pages the in-flight round has relocated so far (0 when idle).
+  std::uint64_t gc_inflight_valid_moved() const { return gc_round_moved_; }
   /// Host-visible capacity in pages under the current physical reserve:
   /// superblocks minus bad blocks, the GC free-pool target, and the
   /// trim-journal reserve, times the data capacity of a superblock. Writes
@@ -241,7 +270,6 @@ class FtlBase {
                                           const OobData& oob) = 0;
   /// Pick a victim among closed superblocks; kNoVictim aborts this GC round.
   virtual std::uint64_t pick_victim() = 0;
-  static constexpr std::uint64_t kNoVictim = ~0ULL;
 
   /// Pages of a superblock usable for data (rest reserved for meta pages).
   virtual std::uint64_t data_capacity(std::uint64_t /*sb*/) const {
@@ -317,8 +345,20 @@ class FtlBase {
   void invalidate(Lpn lpn);
   std::uint64_t allocate_superblock(std::uint32_t stream);
   void maybe_gc();
-  /// One GC round; returns false when the best victim reclaims nothing.
+  /// One full GC round (finishing a preempted one first); returns false
+  /// when no victim can reclaim anything right now.
   bool gc_once();
+  /// Claim a victim and set up the in-flight round state (cursor at offset
+  /// 0, nothing moved). Returns false — with nothing claimed — when
+  /// pick_victim backs off or the best victim is fully valid.
+  bool gc_begin_round();
+  /// Advance the in-flight round: relocate up to `budget` valid pages from
+  /// the victim, starting at the saved cursor. Pages host writes or trims
+  /// invalidated since the last step are skipped for free. Returns true
+  /// when the victim is fully drained — then also retires/erases it and
+  /// clears the in-flight state — and false on preemption (budget hit with
+  /// valid pages left).
+  bool gc_step(std::uint64_t budget);
 
   /// Shared body of write_page / try_write_page. `checked` selects whether
   /// the capacity watermark rejects (kEnospc) or aborts.
@@ -373,6 +413,19 @@ class FtlBase {
   std::uint64_t prev_req_end_ = kInvalidLpn;
   bool in_gc_ = false;
 
+  // --- in-flight GC round (first-class state under kTimeSliced) ---
+  /// Victim a started round is relocating; kNoVictim when idle. Closed,
+  /// and out of the victim index for the round's whole lifetime.
+  std::uint64_t gc_victim_ = kNoVictim;
+  /// Next page offset gc_step() will examine inside gc_victim_.
+  std::uint64_t gc_cursor_ = 0;
+  /// Valid pages moved by the in-flight round so far.
+  std::uint64_t gc_round_moved_ = 0;
+  /// Time-sliced urgent floor: below this many free superblocks, maybe_gc
+  /// completes whole rounds synchronously instead of yielding, so the free
+  /// pool can never run dry between steps (always <= gc_trigger_count_).
+  std::uint64_t gc_urgent_count_ = 2;
+
   // --- trim journal + capacity accounting ---
   /// Open journal superblock accepting record pages (kNoSb when none).
   std::uint64_t journal_sb_ = OpenStream::kNoSb;
@@ -403,6 +456,8 @@ class FtlBase {
   obs::Counter* gc_rounds_ctr_ = nullptr;
   obs::Counter* gc_aborted_ctr_ = nullptr;
   obs::Counter* gc_moved_ctr_ = nullptr;
+  obs::Counter* gc_steps_ctr_ = nullptr;
+  obs::Counter* gc_preempt_ctr_ = nullptr;
   obs::Counter* erases_ctr_ = nullptr;
   obs::Counter* meta_writes_ctr_ = nullptr;
   obs::Counter* stream_borrows_ctr_ = nullptr;
@@ -430,6 +485,7 @@ class FtlBase {
   obs::Gauge* journal_sbs_gauge_ = nullptr;
   obs::Gauge* watermark_gauge_ = nullptr;
   obs::Gauge* mapped_gauge_ = nullptr;
+  obs::Gauge* gc_inflight_moved_gauge_ = nullptr;
 };
 
 }  // namespace phftl

@@ -14,6 +14,12 @@ struct FtlStats {
   std::uint64_t meta_reads = 0;   ///< meta-page reads (metadata cache misses)
   std::uint64_t erases = 0;       ///< superblock erases
   std::uint64_t gc_invocations = 0;
+  /// Bounded GC relocation slices (== gc_invocations under stop-the-world;
+  /// larger under time-sliced GC, where a round spans many steps).
+  std::uint64_t gc_steps = 0;
+  /// Time-sliced steps that hit their gc_step_pages budget and yielded
+  /// back to the host mid-round (always 0 under stop-the-world).
+  std::uint64_t gc_preemptions = 0;
   /// GC appends redirected to another stream under free-pool pressure.
   std::uint64_t stream_borrows = 0;
   /// Program operations that aborted (page consumed, data retried

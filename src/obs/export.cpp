@@ -252,6 +252,20 @@ void append_chrome_event(std::string& out, const TraceEvent& e) {
              ", \"args\": {\"lpn\": " + fmt_u64(e.a) +
              ", \"mapped_pages\": " + fmt_u64(e.b) + "}}";
       break;
+    case TraceEventType::kGcStep:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"gc\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"victim_sb\": " + fmt_u64(e.a) +
+             ", \"moved_pages\": " + fmt_u64(e.b) + "}}";
+      break;
+    case TraceEventType::kGcPreempt:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"gc\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"victim_sb\": " + fmt_u64(e.a) +
+             ", \"valid_remaining\": " + fmt_u64(e.b) + "}}";
+      break;
     case TraceEventType::kRecovery:
       // Complete event on the FTL lane; dur is the measured rebuild time.
       out += "{\"name\": \"" + std::string(name) +

@@ -38,6 +38,8 @@ enum class TraceEventType : std::uint8_t {
   kTrimJournalAppend,   ///< a = journal page ppn, b = range records in it
   kTrimJournalCompact,  ///< a = record pages after compaction, b = tombstones
   kEnospc,              ///< a = rejected lpn, b = mapped pages at rejection
+  kGcStep,              ///< a = victim sb, b = valid pages moved this step
+  kGcPreempt,           ///< a = victim sb, b = valid pages still in it
 };
 
 inline const char* trace_event_name(TraceEventType t) {
@@ -58,6 +60,8 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kTrimJournalAppend: return "trim_journal_append";
     case TraceEventType::kTrimJournalCompact: return "trim_journal_compact";
     case TraceEventType::kEnospc: return "enospc";
+    case TraceEventType::kGcStep: return "gc_step";
+    case TraceEventType::kGcPreempt: return "gc_preempt";
   }
   return "?";
 }
