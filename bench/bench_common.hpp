@@ -122,6 +122,10 @@ struct RunOptions {
   GcMode gc_mode = GcMode::kStopTheWorld;
   /// Per-step relocation budget for kTimeSliced; 0 keeps FtlConfig's default.
   std::uint64_t gc_step_pages = 0;
+  /// Endurance knobs (docs/ENDURANCE.md): P/E-cycle budget per superblock
+  /// (0 = unlimited) and static wear-leveling spread trigger (0 = off).
+  std::uint64_t max_pe_cycles = 0;
+  std::uint64_t wear_level_threshold = 0;
 };
 
 inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
@@ -130,6 +134,8 @@ inline std::unique_ptr<FtlBase> make_scheme(const std::string& scheme,
   FtlConfig cfg = base_cfg;
   cfg.gc_mode = opts.gc_mode;
   if (opts.gc_step_pages > 0) cfg.gc_step_pages = opts.gc_step_pages;
+  cfg.max_pe_cycles = opts.max_pe_cycles;
+  cfg.wear_level_threshold = opts.wear_level_threshold;
   if (scheme == "Base") return std::make_unique<BaseFtl>(cfg);
   if (scheme == "2R") return std::make_unique<TwoRFtl>(cfg);
   if (scheme == "SepBIT") return std::make_unique<SepBitFtl>(cfg);

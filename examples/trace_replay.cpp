@@ -86,6 +86,8 @@ void usage() {
                "[--predict-batch <K>] [--staleness <S>]\n"
                "                    [--gc-mode stop_the_world|time_sliced] "
                "[--gc-step-pages <N>]\n"
+               "                    [--max-pe-cycles <N>] [--wear-level "
+               "<threshold>]\n"
                "  (--scheme all replays every scheme; file outputs require a "
                "single scheme)\n");
   std::exit(2);
@@ -268,6 +270,18 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
         static_cast<unsigned long long>(cfg.geom.num_superblocks()));
     out << buf;
   }
+  if (cfg.max_pe_cycles > 0 || cfg.wear_level_threshold > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  wear spread           %.2f (max - mean erase count)\n"
+        "  WL rounds             %llu (%llu pages migrated)\n"
+        "  wear-retired blocks   %llu (P/E budget %llu)\n",
+        ftl->wear_spread(), static_cast<unsigned long long>(s.wl_rounds),
+        static_cast<unsigned long long>(s.wl_migrations),
+        static_cast<unsigned long long>(s.wear_retired),
+        static_cast<unsigned long long>(cfg.max_pe_cycles));
+    out << buf;
+  }
 
   if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
     phftl->finalize_evaluation();
@@ -323,6 +337,8 @@ int main(int argc, char** argv) {
   long cli_jobs = -1;
   GcMode gc_mode = GcMode::kStopTheWorld;
   std::uint64_t gc_step_pages = 0;  // 0: keep the FtlConfig default
+  std::uint64_t max_pe_cycles = 0;          // 0: unlimited P/E budget
+  std::uint64_t wear_level_threshold = 0;   // 0: wear leveling off
   ReplayOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -379,6 +395,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--gc-step-pages") {
       gc_step_pages = std::strtoull(next(), nullptr, 10);
       if (gc_step_pages == 0) usage();
+    } else if (arg == "--max-pe-cycles") {
+      max_pe_cycles = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--wear-level") {
+      wear_level_threshold = std::strtoull(next(), nullptr, 10);
     } else usage();
   }
 
@@ -402,6 +422,8 @@ int main(int argc, char** argv) {
   }
   cfg.gc_mode = gc_mode;
   if (gc_step_pages > 0) cfg.gc_step_pages = gc_step_pages;
+  cfg.max_pe_cycles = max_pe_cycles;
+  cfg.wear_level_threshold = wear_level_threshold;
 
   if (!export_path.empty()) {
     if (!write_trace_csv_file(trace, export_path)) {

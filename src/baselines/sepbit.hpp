@@ -67,6 +67,14 @@ class SepBitFtl : public FtlBase {
     return 5;                                       // class 6
   }
 
+  std::uint32_t classify_wl_write(Lpn lpn, std::uint8_t gc_count,
+                                  const OobData& oob) override {
+    // Wear-leveled pages go through the same age ladder: a WL victim's
+    // pages are long-closed cold data, so they naturally land in the
+    // oldest classes (5/6) — exactly where SepBIT wants them.
+    return classify_gc_write(lpn, gc_count, oob);
+  }
+
   void on_page_invalidated(Lpn lpn, Ppn /*ppn*/, std::uint64_t now) override {
     // Track mean lifetime of class-1 user-written pages, observed when they
     // are invalidated by a host overwrite (GC-internal invalidations are

@@ -134,6 +134,13 @@ class PhftlFtl : public FtlBase {
   std::uint32_t classify_user_write(Lpn lpn, const WriteContext& ctx) override;
   std::uint32_t classify_gc_write(Lpn lpn, std::uint8_t gc_count,
                                   const OobData& oob) override;
+  /// Wear-leveled pages ride the §III-A gc_count ladder unchanged: their
+  /// survival count already encodes coldness, and keeping one ladder means
+  /// leveling cannot perturb the learned hot/cold separation of streams 0/1.
+  std::uint32_t classify_wl_write(Lpn lpn, std::uint8_t gc_count,
+                                  const OobData& oob) override {
+    return classify_gc_write(lpn, gc_count, oob);
+  }
   std::uint64_t pick_victim() override;
   std::uint64_t data_capacity(std::uint64_t sb) const override;
   void finalize_superblock(std::uint64_t sb) override;

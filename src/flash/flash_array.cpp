@@ -67,10 +67,20 @@ bool FlashArray::erase_superblock(std::uint64_t sb) {
     blob_free_.push_back(static_cast<std::uint32_t>(slot));
     blob_slot_[ppn] = kNoBlob;
   }
-  sbs_[sb].state = SuperblockState::kFree;
   sbs_[sb].next_offset = 0;
   ++sbs_[sb].erase_count;
   ++erases_;
+  if (max_pe_cycles_ > 0 && sbs_[sb].erase_count >= max_pe_cycles_) {
+    // The erase itself worked, but it consumed the block's last budgeted
+    // P/E cycle: the block retires at end-of-life instead of returning to
+    // service. Its pages are erased (nothing to read), so unlike an erase
+    // failure the contents are defined — just permanently unprogrammable.
+    sbs_[sb].state = SuperblockState::kBad;
+    ++wear_retired_;
+    ++bad_blocks_;
+    return false;
+  }
+  sbs_[sb].state = SuperblockState::kFree;
   return true;
 }
 
@@ -103,6 +113,7 @@ Ppn FlashArray::program(std::uint64_t sb, std::uint64_t payload,
   payload_[ppn] = payload;
   oob_[ppn] = oob;
   oob_[ppn].program_seq = ++program_seq_;  // stamp global program order
+  oob_[ppn].erase_count = info.erase_count;  // stamp wear for recovery
   ++info.next_offset;
   ++programs_;
   return ppn;

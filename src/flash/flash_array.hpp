@@ -50,6 +50,12 @@ struct OobData {
   /// same LPN (GC copies preserve write_time, so the timestamp alone cannot
   /// tell the live copy from the stale original).
   std::uint64_t program_seq = 0;
+  /// Erase count of the containing superblock at program time, stamped by
+  /// the flash array. Every page programmed since the same erase carries
+  /// the same value, so mount-time recovery can re-derive a superblock's
+  /// wear from any one of its programmed pages — a documented lower bound
+  /// for free blocks, exact for open/closed ones (docs/ENDURANCE.md).
+  std::uint64_t erase_count = 0;
   /// Trim-journal pages only: program-sequence cutoff of the records in
   /// this page. A journaled trim tombstones an LPN iff the LPN's newest
   /// flash copy has program_seq <= this cutoff (a rewrite after the trim
@@ -87,8 +93,26 @@ class FlashArray {
   /// Erase: all pages become unprogrammed; state returns to free. With an
   /// attached injector the erase may fail — the block then goes bad
   /// permanently (contents undefined, no further operations) and the call
-  /// returns false.
+  /// returns false. With a P/E-cycle budget set (set_max_pe_cycles), an
+  /// erase that consumes the block's last budgeted cycle succeeds
+  /// physically but retires the block at end-of-life (kBad) instead of
+  /// returning it to service — also reported as false; callers distinguish
+  /// the two via wear_exhausted().
   bool erase_superblock(std::uint64_t sb);
+
+  /// P/E-cycle retirement budget per superblock. 0 (default) = unlimited —
+  /// behavior is then bit-identical to a budget-less array. Set before the
+  /// first erase; the budget applies from the next erase on.
+  void set_max_pe_cycles(std::uint64_t budget) { max_pe_cycles_ = budget; }
+  std::uint64_t max_pe_cycles() const { return max_pe_cycles_; }
+  /// True if `sb` has consumed its whole P/E budget (its last erase retired
+  /// it). After a false return from erase_superblock this distinguishes
+  /// end-of-life retirement from an injected erase failure: the count only
+  /// reaches the budget through a *successful* erase, which immediately
+  /// retires the block, so an exhausted block is always kBad.
+  bool wear_exhausted(std::uint64_t sb) const {
+    return max_pe_cycles_ > 0 && sbs_[sb].erase_count >= max_pe_cycles_;
+  }
 
   /// Take a closed superblock out of service without erasing it (the FTL
   /// retires blocks that failed a program once their valid data has been
@@ -145,8 +169,10 @@ class FlashArray {
   /// Injected erase failures observed by this array.
   std::uint64_t erase_failures() const { return erase_failures_; }
   /// Superblocks currently out of service (factory bad + retired + erase
-  /// failures).
+  /// failures + wear retirements).
   std::uint64_t bad_block_count() const { return bad_blocks_; }
+  /// Superblocks retired because their P/E budget ran out.
+  std::uint64_t wear_retired_count() const { return wear_retired_; }
 
  private:
   struct SbInfo {
@@ -176,6 +202,8 @@ class FlashArray {
   std::uint64_t program_failures_ = 0;
   std::uint64_t erase_failures_ = 0;
   std::uint64_t bad_blocks_ = 0;
+  std::uint64_t max_pe_cycles_ = 0;  ///< 0 = unlimited
+  std::uint64_t wear_retired_ = 0;
 };
 
 }  // namespace phftl

@@ -23,11 +23,15 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
       open_(num_streams),
       pending_retire_(cfg.geom.num_superblocks(), 0),
       is_journal_sb_(cfg.geom.num_superblocks(), 0),
+      wear_(cfg.geom.num_superblocks(), 0),
       tombstone_(logical_pages_, 0) {
   PHFTL_CHECK_MSG(num_streams_ >= 1, "at least one stream required");
   // Attach the injector before building the free pool: factory bad blocks
   // are marked at attach time and must never enter circulation.
   flash_.attach_fault_injector(cfg.fault_injector);
+  // P/E budget enforcement lives in the flash array (physical, survives
+  // RAM loss); the FTL only mirrors the counts for leveling decisions.
+  flash_.set_max_pe_cycles(cfg.max_pe_cycles);
   // GC trigger (paper §III-D): collect when the free-superblock proportion
   // drops below the threshold. The trigger must be *satisfiable*: the
   // over-provisioned space, expressed in superblocks, has to exceed it —
@@ -126,6 +130,17 @@ void FtlBase::register_ftl_metrics() {
   enospc_ctr_ = &m.counter("ftl.enospc_rejections", "pages",
                            "host writes rejected at the capacity watermark "
                            "(ENOSPC)");
+  wl_rounds_ctr_ =
+      &m.counter("ftl.wl.rounds", "rounds",
+                 "completed static wear-leveling rounds (cold victim drained "
+                 "into worn blocks; a subset of ftl.gc.rounds)");
+  wl_migrations_ctr_ =
+      &m.counter("ftl.wl.migrations", "pages",
+                 "pages migrated by wear-leveling rounds (a subset of GC "
+                 "moved pages, so WA already charges them)");
+  wear_retired_ctr_ =
+      &m.counter("flash.wear_retired", "superblocks",
+                 "superblocks retired at the P/E-cycle budget (end-of-life)");
   program_fail_ctr_ =
       &m.counter("flash.program_failures", "pages",
                  "program operations that aborted (page consumed, data "
@@ -156,6 +171,22 @@ void FtlBase::register_ftl_metrics() {
   victim_valid_hist_ =
       &m.histogram("ftl.gc.victim_valid_pages", std::move(edges), "pages",
                    "valid-page count of each collected GC victim");
+  // Wear distribution: one observation per erase, at the block's new count.
+  // With a P/E budget the buckets are linear up to it (the last bucket is
+  // end-of-life); without one, exponential — counts are open-ended.
+  std::vector<double> wear_edges;
+  if (cfg_.max_pe_cycles > 0) {
+    for (std::uint64_t i = 1; i <= 8; ++i) {
+      const double e =
+          static_cast<double>(i * cfg_.max_pe_cycles) / 8.0;
+      if (wear_edges.empty() || e > wear_edges.back()) wear_edges.push_back(e);
+    }
+  } else {
+    for (double e = 1.0; e <= 256.0; e *= 2.0) wear_edges.push_back(e);
+  }
+  erase_count_hist_ =
+      &m.histogram("flash.erase_count", std::move(wear_edges), "erases",
+                   "per-superblock erase count, observed at each erase");
   bad_blocks_gauge_ = &m.gauge("flash.bad_blocks", "superblocks",
                                "superblocks out of service (factory bad + "
                                "retired + erase failures)");
@@ -186,6 +217,13 @@ void FtlBase::register_ftl_metrics() {
       &m.gauge("ftl.gc.inflight_valid_moved", "pages",
                "valid pages the preempted in-flight GC round has relocated "
                "so far (0 when no round is in flight)");
+  wear_spread_gauge_ =
+      &m.gauge("flash.wear_spread", "erases",
+               "max - mean erase count over in-service superblocks (the "
+               "static wear-leveling trigger quantity)");
+  wear_max_gauge_ = &m.gauge("flash.wear_max", "erases",
+                             "highest erase count among in-service "
+                             "superblocks");
 }
 
 void FtlBase::refresh_observability() {
@@ -200,6 +238,85 @@ void FtlBase::refresh_observability() {
   watermark_gauge_->set(static_cast<double>(capacity_watermark_pages()));
   mapped_gauge_->set(static_cast<double>(mapped_count_));
   gc_inflight_moved_gauge_->set(static_cast<double>(gc_round_moved_));
+  wear_spread_gauge_->set(wear_spread());
+  wear_max_gauge_->set(static_cast<double>(wear_max_));
+}
+
+double FtlBase::wear_mean() const {
+  const std::uint64_t total = geom().num_superblocks();
+  const std::uint64_t bad = flash_.bad_block_count();
+  if (bad >= total) return 0.0;
+  return static_cast<double>(wear_sum_) / static_cast<double>(total - bad);
+}
+
+double FtlBase::wear_spread() const {
+  const double mean = wear_mean();
+  const double mx = static_cast<double>(wear_max_);
+  return mx > mean ? mx - mean : 0.0;
+}
+
+void FtlBase::note_erase(std::uint64_t sb) {
+  ++wear_[sb];
+  ++wear_sum_;
+  wear_max_ = std::max(wear_max_, wear_[sb]);
+  erase_count_hist_->observe(static_cast<double>(wear_[sb]));
+}
+
+void FtlBase::note_block_lost(std::uint64_t sb) {
+  PHFTL_CHECK(wear_sum_ >= wear_[sb]);
+  wear_sum_ -= wear_[sb];
+  if (wear_[sb] == wear_max_) {
+    // The max holder left service; rescan the survivors. Rare (a block is
+    // lost at most once), so O(superblocks) is fine.
+    wear_max_ = 0;
+    for (std::uint64_t s = 0; s < geom().num_superblocks(); ++s)
+      if (!flash_.is_bad(s)) wear_max_ = std::max(wear_max_, wear_[s]);
+  }
+}
+
+void FtlBase::dispose_drained_superblock(std::uint64_t sb) {
+  if (pending_retire_[sb]) {
+    // The block failed a program earlier; now that it is drained, take it
+    // out of service for good. It never returns to the free pool.
+    pending_retire_[sb] = 0;
+    PHFTL_CHECK(pending_retire_count_ > 0);
+    --pending_retire_count_;
+    flash_.retire_superblock(sb);
+    ++stats_.blocks_retired;
+    retired_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kBlockRetired, virtual_clock_,
+                        sb);
+    note_block_lost(sb);
+    return;
+  }
+  if (!flash_.erase_superblock(sb)) {
+    if (flash_.wear_exhausted(sb)) {
+      // The erase itself worked but consumed the block's last budgeted P/E
+      // cycle: end-of-life retirement. The erase is real and is counted;
+      // the block just never re-enters the free pool.
+      note_erase(sb);
+      ++stats_.erases;
+      erases_ctr_->inc();
+      ++stats_.wear_retired;
+      wear_retired_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kWearRetired, virtual_clock_,
+                          sb, wear_[sb]);
+    } else {
+      // Erase failure: the block went bad in place without erasing. The
+      // caller's round still made progress (the drained pages moved).
+      ++stats_.erase_failures;
+      erase_fail_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kEraseFail, virtual_clock_,
+                          sb);
+    }
+    note_block_lost(sb);
+    return;
+  }
+  note_erase(sb);
+  ++stats_.erases;
+  free_pool_.push_back(sb);
+  erases_ctr_->inc();
+  obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_, sb);
 }
 
 std::uint64_t FtlBase::capacity_watermark_pages() const {
@@ -293,6 +410,32 @@ WriteResult FtlBase::write_page_impl(Lpn lpn, const WriteContext& ctx_in,
     obs_.trace().record(obs::TraceEventType::kEnospc, virtual_clock_, lpn,
                         mapped_count_);
     return WriteResult::kEnospc;
+  }
+
+  // End-of-life admission (docs/ENDURANCE.md): when wear retirement has
+  // drained the free pool and no open superblock can take another page,
+  // the write has physically nowhere to land — reject it rather than
+  // abort deep inside the append path. A healthy drive never trips this
+  // (GC keeps the pool at its floor); the empty() test keeps it free.
+  if (free_pool_.empty()) {
+    bool can_append = false;
+    for (const auto& os : open_) {
+      if (os.sb != OpenStream::kNoSb &&
+          flash_.write_pointer(os.sb) < data_capacity(os.sb)) {
+        can_append = true;
+        break;
+      }
+    }
+    if (!can_append) {
+      PHFTL_CHECK_MSG(checked,
+                      "device at end-of-life: no programmable space left; "
+                      "use try_write_page()/submit_checked() to handle it");
+      ++stats_.enospc_rejections;
+      enospc_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kEnospc, virtual_clock_, lpn,
+                          mapped_count_);
+      return WriteResult::kEnospc;
+    }
   }
 
   WriteContext ctx = ctx_in;
@@ -516,27 +659,7 @@ void FtlBase::compact_trim_journal() {
   // Reclaim the superseded journal superblocks.
   for (const std::uint64_t sb : old_sbs) {
     is_journal_sb_[sb] = 0;
-    if (pending_retire_[sb]) {
-      pending_retire_[sb] = 0;
-      PHFTL_CHECK(pending_retire_count_ > 0);
-      --pending_retire_count_;
-      flash_.retire_superblock(sb);
-      ++stats_.blocks_retired;
-      retired_ctr_->inc();
-      obs_.trace().record(obs::TraceEventType::kBlockRetired, virtual_clock_,
-                          sb);
-    } else if (!flash_.erase_superblock(sb)) {
-      ++stats_.erase_failures;
-      erase_fail_ctr_->inc();
-      obs_.trace().record(obs::TraceEventType::kEraseFail, virtual_clock_,
-                          sb);
-    } else {
-      ++stats_.erases;
-      free_pool_.push_back(sb);
-      erases_ctr_->inc();
-      obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_,
-                          sb);
-    }
+    dispose_drained_superblock(sb);
   }
 
   ++stats_.trim_journal_compactions;
@@ -583,8 +706,17 @@ void FtlBase::invalidate(Lpn lpn) {
 std::uint64_t FtlBase::allocate_superblock(std::uint32_t stream) {
   PHFTL_CHECK_MSG(!free_pool_.empty(),
                   "free pool exhausted: GC cannot make progress");
-  const std::uint64_t sb = free_pool_.front();
-  free_pool_.pop_front();
+  std::size_t pick = 0;
+  if (in_gc_ && wl_round_) {
+    // Wear-leveling appends steer into the most-worn free superblock: the
+    // cold data parks there and stops that block's wear from advancing
+    // (docs/ENDURANCE.md). Host and journal allocations keep FIFO order —
+    // in_gc_ is false between steps — so leveling-off stays bit-identical.
+    for (std::size_t i = 1; i < free_pool_.size(); ++i)
+      if (wear_[free_pool_[i]] > wear_[free_pool_[pick]]) pick = i;
+  }
+  const std::uint64_t sb = free_pool_[pick];
+  free_pool_.erase(free_pool_.begin() + static_cast<std::ptrdiff_t>(pick));
   flash_.open_superblock(sb);
   sb_meta_[sb].stream = stream;
   sb_meta_[sb].close_time = 0;
@@ -605,8 +737,10 @@ Ppn FtlBase::append(std::uint32_t stream, Lpn lpn, std::uint64_t payload,
       // superblock when none is free. Borrow space from any stream that
       // still has an open superblock (real firmware mixes streams under
       // pressure) rather than deadlocking; separation quality degrades for
-      // those few pages only.
-      PHFTL_CHECK_MSG(in_gc_, "free pool exhausted outside GC");
+      // those few pages only. Host writes reach here only at device
+      // end-of-life (wear retirement drained the pool): the admission
+      // check guarantees an open superblock with room exists, so the
+      // drive's last pages mix streams instead of crashing.
       bool found = false;
       for (std::uint32_t s = 0; s < num_streams_; ++s) {
         if (open_[s].sb != OpenStream::kNoSb) {
@@ -775,6 +909,30 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
   return oob_scans;
 }
 
+void FtlBase::rederive_wear_from_flash() {
+  std::fill(wear_.begin(), wear_.end(), 0);
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
+    const SuperblockState st = flash_.state(sb);
+    if (st == SuperblockState::kFree || st == SuperblockState::kBad) continue;
+    const std::uint64_t limit = flash_.write_pointer(sb);
+    for (std::uint64_t off = 0; off < limit; ++off) {
+      const Ppn ppn = geom().make_ppn(sb, off);
+      if (!flash_.is_programmed(ppn)) continue;
+      // Every programmed page in the block carries the same stamp (the
+      // block's erase count at program time, unchanged while open/closed).
+      wear_[sb] = flash_.read_oob(ppn).erase_count;
+      break;
+    }
+  }
+  wear_sum_ = 0;
+  wear_max_ = 0;
+  for (std::uint64_t sb = 0; sb < geom().num_superblocks(); ++sb) {
+    if (flash_.is_bad(sb)) continue;
+    wear_sum_ += wear_[sb];
+    wear_max_ = std::max(wear_max_, wear_[sb]);
+  }
+}
+
 void FtlBase::replay_trim_journal(RecoveryReport& rep) {
   // Replay every record against the rebuilt mapping. A trimmed LPN is
   // tombstoned iff its newest flash copy predates the trim (program_seq <=
@@ -849,10 +1007,18 @@ RecoveryReport FtlBase::recover() {
   gc_victim_ = kNoVictim;
   gc_cursor_ = 0;
   gc_round_moved_ = 0;
+  wl_round_ = false;  // a forgotten round forgets its leveling flag too
 
   // Step 3: base mapping / validity / victim-index rebuild from OOB. This
   // also detects the journal superblocks (pages with kind == kTrimJournal).
   rep.oob_scans = rebuild_mapping_from_flash();
+
+  // Step 3.25: re-derive the wear table from the per-page OOB erase-count
+  // stamps — documented *lower bounds* (docs/ENDURANCE.md): exact for
+  // open/closed blocks (their stamps are the block's current count), 0 for
+  // free/bad blocks whose history left no readable pages. The P/E budget
+  // itself is enforced physically in the flash array and loses nothing.
+  rederive_wear_from_flash();
 
   // Step 3.5: replay the trim journal *after* the rebuild — pass 1 maps
   // every LPN to its newest flash copy, including copies the host had
@@ -932,13 +1098,19 @@ void FtlBase::maybe_gc() {
                     "GC not converging");
     if (!gc_once()) break;  // nothing reclaimable right now
   }
-  if (cfg_.gc_mode == GcMode::kStopTheWorld) return;
+  if (cfg_.gc_mode == GcMode::kStopTheWorld) {
+    maybe_wear_level();  // space pressure handled; leveling may run
+    return;
+  }
 
   // Time-sliced phase: between the floor and the trigger, advance the
   // in-flight round by one bounded step and hand control back to the host.
   // The caller's request is charged at most gc_step_pages relocations —
   // the per-request tail-latency bound (docs/QOS.md).
-  if (free_pool_.size() >= gc_trigger_count_) return;
+  if (free_pool_.size() >= gc_trigger_count_) {
+    maybe_wear_level();  // same per-request step budget applies
+    return;
+  }
   if (gc_victim_ == kNoVictim && !gc_begin_round()) return;
   if (!gc_step(std::max<std::uint64_t>(cfg_.gc_step_pages, 1))) {
     ++stats_.gc_preemptions;
@@ -946,6 +1118,79 @@ void FtlBase::maybe_gc() {
     obs_.trace().record(obs::TraceEventType::kGcPreempt, virtual_clock_,
                         gc_victim_, sb_meta_[gc_victim_].valid_count);
   }
+}
+
+void FtlBase::maybe_wear_level() {
+  if (cfg_.wear_level_threshold == 0) return;  // leveling disabled (default)
+  // Leveling rides the existing round machinery under the same QoS budget:
+  // time-sliced mode advances one bounded step per host request,
+  // stop-the-world completes the round synchronously (docs/ENDURANCE.md).
+  const std::uint64_t budget =
+      cfg_.gc_mode == GcMode::kTimeSliced
+          ? std::max<std::uint64_t>(cfg_.gc_step_pages, 1)
+          : ~0ULL;
+  if (gc_victim_ != kNoVictim) {
+    // A parked round is in flight. Advance it only if it is a leveling
+    // round; a preempted *space* round is the reclaim path's business.
+    if (wl_round_) advance_round(budget);
+    return;
+  }
+  // Space reclaim always outranks leveling — never start a leveling round
+  // while the free pool is below the GC trigger.
+  if (free_pool_.size() < gc_trigger_count_) return;
+  if (wear_spread() <= static_cast<double>(cfg_.wear_level_threshold)) return;
+  const std::uint64_t victim = pick_wl_victim();
+  if (victim == kNoVictim) return;  // nothing colder than the mean
+  wl_begin_round(victim);
+  advance_round(budget);
+}
+
+void FtlBase::advance_round(std::uint64_t budget) {
+  if (!gc_step(budget)) {
+    ++stats_.gc_preemptions;
+    gc_preempt_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kGcPreempt, virtual_clock_,
+                        gc_victim_, sb_meta_[gc_victim_].valid_count);
+  }
+}
+
+std::uint64_t FtlBase::pick_wl_victim() const {
+  // Cold victim: an indexed closed superblock whose wear sits strictly
+  // below the mean, oldest close time first — long-closed, under-erased
+  // blocks hold exactly the cold data that pins wear down. Valid count is
+  // deliberately ignored (a fully valid block is the ideal WL victim).
+  const double mean = wear_mean();
+  std::uint64_t best = kNoVictim;
+  std::uint64_t best_close = 0;
+  victim_index_.visit_ascending(
+      [&](std::uint64_t, const std::vector<std::uint64_t>& sbs) {
+        for (const std::uint64_t sb : sbs) {
+          if (static_cast<double>(wear_[sb]) >= mean) continue;
+          if (best == kNoVictim || sb_meta_[sb].close_time < best_close) {
+            best = sb;
+            best_close = sb_meta_[sb].close_time;
+          }
+        }
+        return true;  // full walk: coldness decides, not valid count
+      });
+  return best;
+}
+
+void FtlBase::wl_begin_round(std::uint64_t victim) {
+  PHFTL_CHECK(gc_victim_ == kNoVictim);
+  PHFTL_CHECK(flash_.state(victim) == SuperblockState::kClosed);
+  // Unlike gc_begin_round there is no fully-valid back-off — a fully
+  // valid, long-closed block is precisely the cold data leveling must
+  // move — and the victim-quality histogram is not observed: WL victims
+  // are intentionally high-valid and would skew the separation diagnostic.
+  victim_index_.remove(victim);
+  ++stats_.gc_invocations;
+  wl_round_ = true;
+  gc_victim_ = victim;
+  gc_cursor_ = 0;
+  gc_round_moved_ = 0;
+  obs_.trace().record(obs::TraceEventType::kGcRoundBegin, virtual_clock_,
+                      victim, sb_meta_[victim].valid_count);
 }
 
 bool FtlBase::gc_once() {
@@ -975,6 +1220,23 @@ bool FtlBase::gc_begin_round() {
   // pages. Transiently possible when the free target is momentarily
   // unreachable; back off and let future invalidations create headroom.
   if (sb_meta_[victim].valid_count >= data_capacity(victim)) {
+    gc_aborted_ctr_->inc();
+    return false;
+  }
+  // End-of-life guard: the round must have somewhere to relocate the
+  // victim's live pages. When wear retirement has shrunk the free pool
+  // below what the migration needs, abort the round — the admission path
+  // then surfaces ENOSPC to the host instead of GC aborting mid-append.
+  // Healthy drives always pass (the pool floor alone covers a victim).
+  std::uint64_t room = 0;
+  for (const std::uint64_t sb : free_pool_) room += data_capacity(sb);
+  for (const auto& os : open_) {
+    if (os.sb == OpenStream::kNoSb) continue;
+    const std::uint64_t wp = flash_.write_pointer(os.sb);
+    const std::uint64_t cap = data_capacity(os.sb);
+    room += cap > wp ? cap - wp : 0;
+  }
+  if (room < sb_meta_[victim].valid_count) {
     gc_aborted_ctr_->inc();
     return false;
   }
@@ -1025,7 +1287,9 @@ bool FtlBase::gc_step(std::uint64_t budget) {
     const std::uint8_t new_count = static_cast<std::uint8_t>(
         std::min<std::uint32_t>(gc_count_[ppn] + 1, cfg_.max_gc_streams));
     oob.gc_count = new_count;  // keep the OOB copy recovery-accurate
-    const std::uint32_t stream = classify_gc_write(lpn, new_count, oob);
+    const std::uint32_t stream = wl_round_
+                                     ? classify_wl_write(lpn, new_count, oob)
+                                     : classify_gc_write(lpn, new_count, oob);
     PHFTL_CHECK(stream < num_streams_);
 
     // Invalidate old location, then append to the GC stream.
@@ -1038,6 +1302,10 @@ bool FtlBase::gc_step(std::uint64_t budget) {
     l2p_[lpn] = new_ppn;
     gc_count_[new_ppn] = new_count;
     ++stats_.gc_writes;
+    if (wl_round_) {
+      ++stats_.wl_migrations;
+      wl_migrations_ctr_->inc();
+    }
     ++moved;
     on_gc_write_complete(lpn, new_ppn, oob);
   }
@@ -1057,37 +1325,21 @@ bool FtlBase::gc_step(std::uint64_t budget) {
 
   PHFTL_CHECK(sb_meta_[victim].valid_count == 0);
   on_superblock_erased(victim);
-  if (pending_retire_[victim]) {
-    // The block failed a program earlier; now that GC drained it, take it
-    // out of service for good. It never returns to the free pool.
-    pending_retire_[victim] = 0;
-    PHFTL_CHECK(pending_retire_count_ > 0);
-    --pending_retire_count_;
-    flash_.retire_superblock(victim);
-    ++stats_.blocks_retired;
-    retired_ctr_->inc();
-    obs_.trace().record(obs::TraceEventType::kBlockRetired, virtual_clock_,
-                        victim);
-  } else if (!flash_.erase_superblock(victim)) {
-    // Erase failure: the block went bad in place and likewise leaves
-    // service. The round still made progress (the victim's pages moved);
-    // maybe_gc() keeps collecting until the free target is met.
-    ++stats_.erase_failures;
-    erase_fail_ctr_->inc();
-    obs_.trace().record(obs::TraceEventType::kEraseFail, virtual_clock_,
-                        victim);
-  } else {
-    ++stats_.erases;
-    free_pool_.push_back(victim);
-    erases_ctr_->inc();
-    obs_.trace().record(obs::TraceEventType::kFlashErase, virtual_clock_,
-                        victim);
-  }
+  dispose_drained_superblock(victim);
   in_gc_ = false;
+  // gc_rounds includes wear-leveling rounds (they are real collections);
+  // ftl.wl.rounds counts the leveling subset separately.
   gc_rounds_ctr_->inc();
   gc_moved_ctr_->add(gc_round_moved_);
   obs_.trace().record(obs::TraceEventType::kGcRoundEnd, virtual_clock_,
                       victim, gc_round_moved_);
+  if (wl_round_) {
+    ++stats_.wl_rounds;
+    wl_rounds_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kWearLevel, virtual_clock_,
+                        victim, gc_round_moved_);
+    wl_round_ = false;
+  }
   gc_victim_ = kNoVictim;
   gc_cursor_ = 0;
   gc_round_moved_ = 0;

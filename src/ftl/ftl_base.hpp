@@ -60,6 +60,19 @@ struct FtlConfig {
   /// set, programs/erases may fail and the FTL exercises its degradation
   /// paths — see docs/RECOVERY.md §"Fault model".
   FaultInjector* fault_injector = nullptr;
+  /// P/E-cycle retirement budget per superblock (docs/ENDURANCE.md): a
+  /// block's final budgeted erase retires it at end-of-life (kBad), which
+  /// shrinks the capacity watermark until the drive goes read-only with a
+  /// clean ENOSPC. 0 = unlimited (default; bit-identical to pre-endurance
+  /// behavior).
+  std::uint64_t max_pe_cycles = 0;
+  /// Static wear-leveling trigger (docs/ENDURANCE.md): start a leveling
+  /// round — cold-data migration into the most-worn free superblock — when
+  /// max(erase count) - mean(erase count) over in-service superblocks
+  /// exceeds this. Rounds ride the GC machinery, so under kTimeSliced they
+  /// respect the per-write gc_step_pages bound (docs/QOS.md). 0 disables
+  /// (default; bit-identical to pre-endurance behavior).
+  std::uint64_t wear_level_threshold = 0;
 };
 
 /// What a mount-time recover() call observed and rebuilt. Returned to the
@@ -159,6 +172,22 @@ class FtlBase {
   /// Trimmed-and-not-rewritten LPNs the journal currently guarantees stay
   /// unmapped across an unclean shutdown.
   std::uint64_t live_tombstones() const { return live_tombstones_; }
+
+  // --- endurance introspection (docs/ENDURANCE.md) ---
+  /// The FTL's RAM wear table: erase count of `sb` as this FTL knows it.
+  /// Matches flash().erase_count(sb) exactly during normal operation; after
+  /// an unclean-shutdown mount it is re-derived from the per-page OOB
+  /// erase-count stamps — exact for open/closed superblocks, a lower bound
+  /// (0) for free ones, mirroring the close_time contract in RECOVERY.md.
+  std::uint64_t wear_count(std::uint64_t sb) const { return wear_[sb]; }
+  /// Mean wear over in-service (non-bad) superblocks, per the FTL's table.
+  double wear_mean() const;
+  /// max(wear) - mean(wear) over in-service superblocks — the static
+  /// wear-leveling trigger quantity. Leveling fires when this exceeds
+  /// FtlConfig::wear_level_threshold.
+  double wear_spread() const;
+  /// True while the in-flight GC round is a wear-leveling round.
+  bool wear_level_inflight() const { return wl_round_; }
 
   /// Test hook: jump the virtual clock forward (e.g. near 2^32 to exercise
   /// timestamp-width regressions). Must not move the clock backwards.
@@ -268,6 +297,14 @@ class FtlBase {
                                             const WriteContext& ctx) = 0;
   virtual std::uint32_t classify_gc_write(Lpn lpn, std::uint8_t gc_count,
                                           const OobData& oob) = 0;
+  /// Stream for a page migrated by a static wear-leveling round. The
+  /// victim was chosen *because* its data is cold, so schemes may route
+  /// these pages more aggressively than ordinary GC survivors; the default
+  /// treats them exactly like GC migrations. docs/ENDURANCE.md.
+  virtual std::uint32_t classify_wl_write(Lpn lpn, std::uint8_t gc_count,
+                                          const OobData& oob) {
+    return classify_gc_write(lpn, gc_count, oob);
+  }
   /// Pick a victim among closed superblocks; kNoVictim aborts this GC round.
   virtual std::uint64_t pick_victim() = 0;
 
@@ -360,6 +397,36 @@ class FtlBase {
   /// valid pages left).
   bool gc_step(std::uint64_t budget);
 
+  // --- static wear leveling (docs/ENDURANCE.md) ---
+  /// Start or advance a wear-leveling round when the spread trigger fires
+  /// and no GC pressure claims the slice. Under kTimeSliced this advances
+  /// by one bounded gc_step (the QoS per-write bound covers WL work too);
+  /// under kStopTheWorld the round completes synchronously. No-op when
+  /// wear_level_threshold == 0.
+  void maybe_wear_level();
+  /// Cold WL victim: an indexed closed superblock with wear strictly below
+  /// the mean, oldest close_time first. kNoVictim when none qualifies.
+  std::uint64_t pick_wl_victim() const;
+  /// Claim `victim` for a wear-leveling round (bypasses pick_victim and
+  /// the fully-valid back-off: relocating a fully valid cold block is the
+  /// whole point of static leveling).
+  void wl_begin_round(std::uint64_t victim);
+  /// Advance the in-flight round by one slice, with the same preemption
+  /// accounting maybe_gc applies.
+  void advance_round(std::uint64_t budget);
+  /// Wear bookkeeping after a successful (budget-surviving) erase of `sb`.
+  void note_erase(std::uint64_t sb);
+  /// Wear bookkeeping when `sb` leaves service (retired / erase failure /
+  /// budget exhausted): its wear exits the in-service pool.
+  void note_block_lost(std::uint64_t sb);
+  /// Shared end-of-round disposal of a drained victim: retire it if it is
+  /// pending-retire, otherwise erase it — handling erase failures and
+  /// P/E-budget exhaustion.
+  void dispose_drained_superblock(std::uint64_t sb);
+  /// Mount-time wear re-derivation from the per-page OOB erase-count
+  /// stamps (lower-bound contract — docs/ENDURANCE.md, docs/RECOVERY.md).
+  void rederive_wear_from_flash();
+
   /// Shared body of write_page / try_write_page. `checked` selects whether
   /// the capacity watermark rejects (kEnospc) or aborts.
   WriteResult write_page_impl(Lpn lpn, const WriteContext& ctx, bool checked);
@@ -426,6 +493,22 @@ class FtlBase {
   /// pool can never run dry between steps (always <= gc_trigger_count_).
   std::uint64_t gc_urgent_count_ = 2;
 
+  // --- endurance state (docs/ENDURANCE.md) ---
+  /// The FTL's RAM wear table (erase count per superblock). Kept in
+  /// lockstep with the flash array during normal operation; wiped and
+  /// re-derived from OOB erase-count stamps at mount (lower bounds).
+  std::vector<std::uint64_t> wear_;
+  /// Sum of wear_ over in-service (non-bad) superblocks, maintained
+  /// incrementally so the spread trigger is O(1) per write.
+  std::uint64_t wear_sum_ = 0;
+  /// Max of wear_ over in-service superblocks. Recomputed (O(superblocks))
+  /// only when the max-holding block leaves service — rare.
+  std::uint64_t wear_max_ = 0;
+  /// True while the in-flight round (gc_victim_) is a wear-leveling round:
+  /// migrations classify through classify_wl_write, land in the most-worn
+  /// free superblock, and count as wl_migrations.
+  bool wl_round_ = false;
+
   // --- trim journal + capacity accounting ---
   /// Open journal superblock accepting record pages (kNoSb when none).
   std::uint64_t journal_sb_ = OpenStream::kNoSb;
@@ -474,7 +557,11 @@ class FtlBase {
   obs::Counter* journal_compactions_ctr_ = nullptr;
   obs::Counter* journal_replayed_ctr_ = nullptr;
   obs::Counter* enospc_ctr_ = nullptr;
+  obs::Counter* wl_rounds_ctr_ = nullptr;
+  obs::Counter* wl_migrations_ctr_ = nullptr;
+  obs::Counter* wear_retired_ctr_ = nullptr;
   obs::Histogram* victim_valid_hist_ = nullptr;
+  obs::Histogram* erase_count_hist_ = nullptr;
   obs::Gauge* bad_blocks_gauge_ = nullptr;
   obs::Gauge* wa_gauge_ = nullptr;
   obs::Gauge* free_sb_gauge_ = nullptr;
@@ -486,6 +573,8 @@ class FtlBase {
   obs::Gauge* watermark_gauge_ = nullptr;
   obs::Gauge* mapped_gauge_ = nullptr;
   obs::Gauge* gc_inflight_moved_gauge_ = nullptr;
+  obs::Gauge* wear_spread_gauge_ = nullptr;
+  obs::Gauge* wear_max_gauge_ = nullptr;
 };
 
 }  // namespace phftl

@@ -40,6 +40,15 @@ struct FtlStats {
   std::uint64_t trim_journal_compactions = 0;
   /// Host writes rejected at the capacity watermark (ENOSPC).
   std::uint64_t enospc_rejections = 0;
+  /// Completed static wear-leveling rounds (cold victim drained into worn
+  /// blocks; a subset of gc_invocations — docs/ENDURANCE.md).
+  std::uint64_t wl_rounds = 0;
+  /// Pages migrated by wear-leveling rounds (a subset of gc_writes, so WA
+  /// already charges them).
+  std::uint64_t wl_migrations = 0;
+  /// Superblocks retired at the P/E-cycle budget (end-of-life, distinct
+  /// from blocks_retired's program-failure retirements).
+  std::uint64_t wear_retired = 0;
 
   /// Total flash page programs (F): user + GC migrations + meta pages +
   /// trim-journal record pages.

@@ -266,6 +266,20 @@ void append_chrome_event(std::string& out, const TraceEvent& e) {
              ", \"args\": {\"victim_sb\": " + fmt_u64(e.a) +
              ", \"valid_remaining\": " + fmt_u64(e.b) + "}}";
       break;
+    case TraceEventType::kWearLevel:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"wear\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFtl) +
+             ", \"args\": {\"victim_sb\": " + fmt_u64(e.a) +
+             ", \"migrated_pages\": " + fmt_u64(e.b) + "}}";
+      break;
+    case TraceEventType::kWearRetired:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"wear\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidFlash) +
+             ", \"args\": {\"sb\": " + fmt_u64(e.a) +
+             ", \"erase_count\": " + fmt_u64(e.b) + "}}";
+      break;
     case TraceEventType::kRecovery:
       // Complete event on the FTL lane; dur is the measured rebuild time.
       out += "{\"name\": \"" + std::string(name) +

@@ -40,6 +40,8 @@ enum class TraceEventType : std::uint8_t {
   kEnospc,              ///< a = rejected lpn, b = mapped pages at rejection
   kGcStep,              ///< a = victim sb, b = valid pages moved this step
   kGcPreempt,           ///< a = victim sb, b = valid pages still in it
+  kWearLevel,           ///< a = cold victim sb, b = pages migrated (round end)
+  kWearRetired,         ///< a = sb retired at the P/E budget, b = erase count
 };
 
 inline const char* trace_event_name(TraceEventType t) {
@@ -62,6 +64,8 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kEnospc: return "enospc";
     case TraceEventType::kGcStep: return "gc_step";
     case TraceEventType::kGcPreempt: return "gc_preempt";
+    case TraceEventType::kWearLevel: return "wear_level";
+    case TraceEventType::kWearRetired: return "wear_retired";
   }
   return "?";
 }

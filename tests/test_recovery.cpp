@@ -302,6 +302,24 @@ TEST_P(RecoveryTest, RandomizedPowerCutsPreserveAcknowledgedData) {
     // (write_time survives GC moves, so stale copies never inflate it).
     EXPECT_GT(rep.recovered_vclock, 0u);
     EXPECT_LE(rep.recovered_vclock, pre_vclock + 1);
+    // Same contract shape for the wear table (docs/ENDURANCE.md): the
+    // re-derived per-superblock erase counts are lower bounds on the
+    // physical counts, exact for data blocks that still hold a programmed
+    // page. Excluded from exactness: pageless blocks (cut right after the
+    // opening erase) and journal blocks — the mount's own step-7
+    // compaction cycles those after the wear table was re-derived.
+    for (std::uint64_t sb = 0; sb < cfg.geom.num_superblocks(); ++sb) {
+      ASSERT_LE(ftl->wear_count(sb), ftl->flash().erase_count(sb))
+          << GetParam() << " cut " << cut << " sb " << sb;
+      bool holds_page = false;
+      for (std::uint64_t off = 0; off < ftl->flash().write_pointer(sb); ++off)
+        holds_page |= ftl->flash().is_programmed(cfg.geom.make_ppn(sb, off));
+      if (holds_page && !ftl->is_journal_sb(sb) &&
+          ftl->flash().state(sb) == SuperblockState::kClosed) {
+        ASSERT_EQ(ftl->wear_count(sb), ftl->flash().erase_count(sb))
+            << GetParam() << " cut " << cut << " sb " << sb;
+      }
+    }
 
     // The drive must keep serving traffic after the remount, including
     // further trims of recovered data.
