@@ -1,0 +1,234 @@
+// Mapping-tier RAM/performance trade-off: sweep the cached-mapping-table
+// (CMT) size for each scheme and report RAM footprint vs read and write
+// amplification (docs/MAPPING.md §"RAM-budget methodology").
+//
+// Every cell runs the identical workload: prefill 80 % of the logical
+// space sequentially, then a skewed overwrite/read mix (60 % writes, 90 %
+// of them into a hot 15 % of the prefilled range; 40 % uniform reads).
+// The tier-off cell (cmt_pages = 0 in the artifact) anchors the flat
+// in-RAM L2P baseline: 8 bytes per logical page, no extra flash traffic.
+// Tier-on cells pay the DFTL double-read penalty — CMT misses on the host
+// read path fetch a translation page from flash — and dirty write-back
+// batches plus translation-page GC add flash writes that WA charges
+// honestly (trans_writes is inside flash_writes()).
+//
+// Usage: bench_mapping [--jobs N] [--ops-per-page X] [--smoke] [--out <path>]
+// Writes BENCH_mapping.json (schema "phftl-bench-mapping/1" — see
+// EXPERIMENTS.md). --smoke shrinks the drive and the op count for a
+// seconds-scale CI run.
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace phftl;
+
+FtlConfig mapping_config(bool smoke, std::uint64_t cmt_pages) {
+  FtlConfig cfg;  // 8 dies x 128 blocks x 32 pages x 4 KB = 128 MiB
+  cfg.geom.num_dies = 8;
+  cfg.geom.blocks_per_die = smoke ? 32 : 128;
+  cfg.geom.pages_per_block = 32;
+  cfg.geom.page_size = 4 * 1024;
+  cfg.geom.oob_size = 128;
+  cfg.op_ratio = 0.10;
+  cfg.gc_free_threshold = 0.05;
+  if (cmt_pages > 0) {
+    cfg.mapping_tier = true;
+    cfg.cmt_pages = cmt_pages;
+    // Batch at most 8 dirty evictions; smaller CMTs batch less so the
+    // write-back buffer never dwarfs the table it backs.
+    cfg.cmt_wb_batch = std::min<std::uint64_t>(cmt_pages, 8);
+  }
+  return cfg;
+}
+
+struct CellResult {
+  std::string scheme;
+  std::uint64_t cmt_pages = 0;  ///< 0 = mapping tier off (flat L2P)
+  std::uint64_t host_pages = 0;
+  std::uint64_t host_reads = 0;
+  double wa = 0.0;
+  double read_amp = 1.0;
+  double cmt_hit_rate = 0.0;
+  std::uint64_t trans_writes = 0;
+  std::uint64_t trans_gc_writes = 0;
+  std::uint64_t trans_reads = 0;
+  std::uint64_t ram_bytes = 0;       ///< GTD + CMT + write-back buffer
+  std::uint64_t flat_ram_bytes = 0;  ///< 8 B per logical page baseline
+  std::uint64_t num_tps = 0;
+  std::uint64_t tp_entries = 0;
+};
+
+CellResult run_cell(const std::string& scheme, std::uint64_t cmt_pages,
+                    bool smoke, double ops_per_page) {
+  const FtlConfig cfg = mapping_config(smoke, cmt_pages);
+  bench::RunOptions opts;
+  opts.time_predictions = false;
+  opts.record_artifact = false;
+  auto ftl = bench::make_scheme(scheme, cfg, opts);
+
+  CellResult r;
+  r.scheme = scheme;
+  r.cmt_pages = cmt_pages;
+
+  const std::uint64_t logical = ftl->logical_pages();
+  const std::uint64_t fill = logical * 8 / 10;
+  const std::uint64_t hot = std::max<std::uint64_t>(fill * 15 / 100, 1);
+  std::uint64_t ts_us = 0;
+  auto write_one = [&](Lpn lpn) {
+    HostRequest req;
+    req.timestamp_us = ts_us;
+    ts_us += 40;
+    req.op = OpType::kWrite;
+    req.start_lpn = lpn;
+    const SubmitResult res = ftl->submit_checked(req);
+    if (res.status == WriteResult::kOk) ++r.host_pages;
+  };
+
+  for (Lpn lpn = 0; lpn < fill; ++lpn) write_one(lpn);
+
+  // Same seed per cell: every scheme x CMT size sees the identical offered
+  // stream, so the artifact isolates the tier's cost.
+  Xoshiro256 rng(20260809);
+  const auto ops = static_cast<std::uint64_t>(
+      static_cast<double>(logical) * ops_per_page);
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    if (rng.next_bool(0.6)) {
+      write_one(rng.next_bool(0.9) ? rng.next_below(hot)
+                                   : rng.next_below(fill));
+    } else {
+      (void)ftl->read_page(rng.next_below(fill));
+    }
+  }
+  ftl->drain();
+
+  const FtlStats& s = ftl->stats();
+  r.host_reads = s.host_reads;
+  r.wa = s.write_amplification();
+  const std::uint64_t host_total = s.host_reads + s.host_reads_unmapped;
+  r.read_amp = host_total == 0
+                   ? 1.0
+                   : static_cast<double>(host_total + s.trans_reads_host) /
+                         static_cast<double>(host_total);
+  const std::uint64_t lookups = s.cmt_hits + s.cmt_misses;
+  r.cmt_hit_rate = lookups == 0 ? 0.0
+                                : static_cast<double>(s.cmt_hits) /
+                                      static_cast<double>(lookups);
+  r.trans_writes = s.trans_writes;
+  r.trans_gc_writes = s.trans_gc_writes;
+  r.trans_reads = s.trans_reads;
+  r.flat_ram_bytes = logical * 8;
+  r.ram_bytes = cmt_pages == 0 ? r.flat_ram_bytes : ftl->mapping_ram_bytes();
+  r.num_tps = ftl->num_translation_pages();
+  r.tp_entries = ftl->tp_entries();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long cli_jobs = 4;
+  bool smoke = false;
+  double ops_per_page = 2.0;
+  std::string out_path = "BENCH_mapping.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      cli_jobs = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--ops-per-page" && i + 1 < argc) {
+      ops_per_page = std::atof(argv[++i]);
+    } else if (arg == "--smoke") {
+      smoke = true;
+      ops_per_page = 0.5;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--ops-per-page X] [--smoke] "
+                   "[--out <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const unsigned jobs = cli_jobs <= 0 ? 4 : static_cast<unsigned>(cli_jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const std::vector<std::string> schemes = {"Base", "2R", "SepBIT", "PHFTL"};
+  const std::vector<std::uint64_t> cmt_sizes = {0, 2, 4, 8, 16};
+  std::printf("Mapping-tier sweep: %zu schemes x %zu CMT sizes "
+              "(0 = flat L2P), %u jobs, %u hardware threads\n\n",
+              schemes.size(), cmt_sizes.size(), jobs, hw);
+
+  phftl::util::ThreadPool pool(jobs);
+  std::vector<std::future<CellResult>> futures;
+  for (const auto& scheme : schemes)
+    for (const std::uint64_t cmt : cmt_sizes)
+      futures.push_back(pool.submit([scheme, cmt, smoke, ops_per_page] {
+        return run_cell(scheme, cmt, smoke, ops_per_page);
+      }));
+  std::vector<CellResult> cells;
+  for (auto& f : futures) cells.push_back(f.get());
+
+  phftl::TextTable t;
+  t.header({"scheme", "CMT pages", "mapping RAM", "vs flat", "WA",
+            "read amp", "CMT hit rate", "trans writes", "trans reads"});
+  for (const CellResult& c : cells) {
+    const double reduction =
+        c.ram_bytes == 0 ? 0.0
+                         : static_cast<double>(c.flat_ram_bytes) /
+                               static_cast<double>(c.ram_bytes);
+    t.row({c.scheme, c.cmt_pages == 0 ? "off" : std::to_string(c.cmt_pages),
+           std::to_string(c.ram_bytes) + " B",
+           phftl::TextTable::num(reduction, 1) + "x",
+           phftl::TextTable::num(c.wa, 4),
+           phftl::TextTable::num(c.read_amp, 3),
+           phftl::TextTable::num(c.cmt_hit_rate * 100.0, 1) + "%",
+           std::to_string(c.trans_writes), std::to_string(c.trans_reads)});
+  }
+  t.render(std::cout);
+
+  std::ostringstream js;
+  js << "{\n  \"schema\": \"phftl-bench-mapping/1\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"ops_per_page\": " << ops_per_page << ",\n"
+     << "  \"hardware_threads\": " << hw << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    char wa_buf[64], ra_buf[64], hit_buf[64];
+    std::snprintf(wa_buf, sizeof(wa_buf), "%.4f", c.wa);
+    std::snprintf(ra_buf, sizeof(ra_buf), "%.4f", c.read_amp);
+    std::snprintf(hit_buf, sizeof(hit_buf), "%.4f", c.cmt_hit_rate);
+    js << "    {\"scheme\": \"" << c.scheme
+       << "\", \"cmt_pages\": " << c.cmt_pages
+       << ", \"ram_bytes\": " << c.ram_bytes
+       << ", \"flat_ram_bytes\": " << c.flat_ram_bytes
+       << ", \"num_translation_pages\": " << c.num_tps
+       << ", \"tp_entries\": " << c.tp_entries
+       << ", \"host_pages\": " << c.host_pages
+       << ", \"host_reads\": " << c.host_reads << ", \"wa\": " << wa_buf
+       << ", \"read_amplification\": " << ra_buf
+       << ", \"cmt_hit_rate\": " << hit_buf
+       << ", \"trans_writes\": " << c.trans_writes
+       << ", \"trans_gc_writes\": " << c.trans_gc_writes
+       << ", \"trans_reads\": " << c.trans_reads << "}"
+       << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  js << "  ]\n}\n";
+  if (!phftl::obs::write_text_file(out_path, js.str())) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -13,6 +13,7 @@
 //                [--predict-mode sync|batched|async] [--predict-batch <K>]
 //                [--staleness <S>]
 //                [--gc-mode stop_the_world|time_sliced] [--gc-step-pages <N>]
+//                [--mapping-tier] [--cmt-pages <N>] [--tp-entries <N>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
@@ -39,6 +40,10 @@
 //   trace_replay --scheme all --gc-mode time_sliced --gc-step-pages 8
 //     (preemptive GC: each host write advances the in-flight victim by at
 //     most N relocations instead of paying for a whole round — docs/QOS.md)
+//   trace_replay --scheme Base --mapping-tier --cmt-pages 16
+//     (demand-paged flash-resident L2P: translation pages on flash behind a
+//     16-page cached mapping table — docs/MAPPING.md; the report grows a
+//     mapping panel with RAM footprint and read amplification)
 //
 // Writes are submitted through submit_checked(): if the drive's capacity
 // watermark rejects part of a request (ENOSPC, docs/RECOVERY.md "Capacity
@@ -88,6 +93,8 @@ void usage() {
                "[--gc-step-pages <N>]\n"
                "                    [--max-pe-cycles <N>] [--wear-level "
                "<threshold>]\n"
+               "                    [--mapping-tier] [--cmt-pages <N>] "
+               "[--tp-entries <N>]\n"
                "  (--scheme all replays every scheme; file outputs require a "
                "single scheme)\n");
   std::exit(2);
@@ -283,6 +290,46 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
     out << buf;
   }
 
+  if (ftl->mapping_tier_enabled()) {
+    const std::uint64_t host_total = s.host_reads + s.host_reads_unmapped;
+    const double read_amp =
+        host_total == 0
+            ? 1.0
+            : static_cast<double>(host_total + s.trans_reads_host) /
+                  static_cast<double>(host_total);
+    const std::uint64_t cmt_lookups = s.cmt_hits + s.cmt_misses;
+    const double hit_rate =
+        cmt_lookups == 0 ? 0.0
+                         : static_cast<double>(s.cmt_hits) /
+                               static_cast<double>(cmt_lookups);
+    const std::uint64_t flat_bytes = ftl->logical_pages() * 8;
+    const std::uint64_t tier_bytes = ftl->mapping_ram_bytes();
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nmapping tier (docs/MAPPING.md):\n"
+        "  translation pages     %llu (%llu L2P entries each)\n"
+        "  translation writes    %llu (%llu by GC; inside F, so WA above "
+        "already pays them)\n"
+        "  translation reads     %llu (%llu on the host read path)\n"
+        "  CMT                   %llu resident, %.2f%% hit rate\n"
+        "  read amplification    %.3f ((host + demand fetches) / host)\n"
+        "  mapping RAM           %llu B vs %llu B flat (%.1fx smaller)\n",
+        static_cast<unsigned long long>(ftl->num_translation_pages()),
+        static_cast<unsigned long long>(ftl->tp_entries()),
+        static_cast<unsigned long long>(s.trans_writes),
+        static_cast<unsigned long long>(s.trans_gc_writes),
+        static_cast<unsigned long long>(s.trans_reads),
+        static_cast<unsigned long long>(s.trans_reads_host),
+        static_cast<unsigned long long>(ftl->cmt_resident()),
+        hit_rate * 100.0, read_amp,
+        static_cast<unsigned long long>(tier_bytes),
+        static_cast<unsigned long long>(flat_bytes),
+        tier_bytes == 0 ? 0.0
+                        : static_cast<double>(flat_bytes) /
+                              static_cast<double>(tier_bytes));
+    out << buf;
+  }
+
   if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
     phftl->finalize_evaluation();
     const auto& cm = phftl->classifier_metrics();
@@ -339,6 +386,9 @@ int main(int argc, char** argv) {
   std::uint64_t gc_step_pages = 0;  // 0: keep the FtlConfig default
   std::uint64_t max_pe_cycles = 0;          // 0: unlimited P/E budget
   std::uint64_t wear_level_threshold = 0;   // 0: wear leveling off
+  bool mapping_tier = false;
+  std::uint64_t cmt_pages = 0;   // 0: keep the FtlConfig default
+  std::uint64_t tp_entries = 0;  // 0: physical maximum (page_size / 8)
   ReplayOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -399,6 +449,13 @@ int main(int argc, char** argv) {
       max_pe_cycles = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--wear-level") {
       wear_level_threshold = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--mapping-tier") {
+      mapping_tier = true;
+    } else if (arg == "--cmt-pages") {
+      cmt_pages = std::strtoull(next(), nullptr, 10);
+      if (cmt_pages == 0) usage();
+    } else if (arg == "--tp-entries") {
+      tp_entries = std::strtoull(next(), nullptr, 10);
     } else usage();
   }
 
@@ -424,6 +481,9 @@ int main(int argc, char** argv) {
   if (gc_step_pages > 0) cfg.gc_step_pages = gc_step_pages;
   cfg.max_pe_cycles = max_pe_cycles;
   cfg.wear_level_threshold = wear_level_threshold;
+  cfg.mapping_tier = mapping_tier;
+  if (cmt_pages > 0) cfg.cmt_pages = cmt_pages;
+  if (tp_entries > 0) cfg.tp_entries = tp_entries;
 
   if (!export_path.empty()) {
     if (!write_trace_csv_file(trace, export_path)) {

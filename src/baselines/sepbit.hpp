@@ -75,6 +75,14 @@ class SepBitFtl : public FtlBase {
     return classify_gc_write(lpn, gc_count, oob);
   }
 
+  std::uint32_t classify_translation_write(std::uint64_t,
+                                           bool gc_migration) override {
+    // SepBIT has no lifetime signal for translation pages; write-backs
+    // rewrite at cache-eviction cadence (class 3's short-survivor band),
+    // GC-migrated ones already survived a collection (class 4).
+    return gc_migration ? 3 : 2;
+  }
+
   void on_page_invalidated(Lpn lpn, Ppn /*ppn*/, std::uint64_t now) override {
     // Track mean lifetime of class-1 user-written pages, observed when they
     // are invalidated by a host overwrite (GC-internal invalidations are

@@ -30,6 +30,12 @@ class TwoRFtl : public FtlBase {
   std::uint32_t classify_wl_write(Lpn, std::uint8_t, const OobData&) override {
     return 1;  // leveled pages survived a collection: cold region by 2R logic
   }
+  std::uint32_t classify_translation_write(std::uint64_t,
+                                           bool) override {
+    // Translation pages churn at write-back cadence, not host cadence —
+    // keep them out of the user region like GC survivors (docs/MAPPING.md).
+    return 1;
+  }
   std::uint64_t pick_victim() override {
     const double inv_pages = sb_fraction_scale(*this);
     return select_victim(*this, [&](std::uint64_t sb) {

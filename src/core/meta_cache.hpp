@@ -37,6 +37,12 @@ struct CacheAccess {
   bool hit = false;           ///< key was already cached (moved to MRU)
   bool evicted = false;       ///< a miss at capacity evicted the LRU key
   std::uint64_t victim = 0;   ///< the evicted key (valid iff `evicted`)
+  /// Slab slot now holding `key` (FlatMetaCache only; ReferenceMetaCache
+  /// has no slab and leaves it 0). Stable for as long as the key stays
+  /// cached, so callers can attach per-entry payload arrays indexed by
+  /// slot — the mapping tier's CMT stores its translation-page entries
+  /// this way (docs/MAPPING.md).
+  std::uint32_t node = 0;
 };
 
 /// Flat open-addressed hash + intrusive array-backed LRU. Exact LRU with
@@ -70,6 +76,22 @@ class FlatMetaCache {
     return find_slot(key) != kNotFound;
   }
 
+  /// Slab slot holding `key`, or kNoNode if not cached. Does NOT touch the
+  /// LRU order — a pure read for callers maintaining per-slot payload.
+  static constexpr std::uint32_t kNoNode = ~0u;
+  std::uint32_t node_of(std::uint64_t key) const {
+    const std::size_t slot = find_slot(key);
+    return slot == kNotFound ? kNoNode : slots_[slot];
+  }
+
+  /// Key at the eviction end, valid iff size() > 0. Callers that must act
+  /// on the victim BEFORE access() recycles its slab slot (dirty write-back
+  /// of attached payload) peek here when the cache is full.
+  std::uint64_t lru_key() const {
+    PHFTL_CHECK(tail_ != kNil);
+    return nodes_[tail_].key;
+  }
+
   /// Touch-or-insert: a hit moves `key` to MRU; a miss inserts it at MRU,
   /// evicting the LRU entry when full.
   CacheAccess access(std::uint64_t key) {
@@ -77,7 +99,8 @@ class FlatMetaCache {
     const std::size_t slot = find_slot(key);
     if (slot != kNotFound) {
       out.hit = true;
-      move_to_front(slots_[slot]);
+      out.node = slots_[slot];
+      move_to_front(out.node);
       return out;
     }
     if (size_ == capacity_) {
@@ -90,6 +113,7 @@ class FlatMetaCache {
     push_front(node);
     insert_slot(key, node);
     ++size_;
+    out.node = node;
     return out;
   }
 

@@ -604,6 +604,9 @@ void PhftlFtl::on_recovery(const RecoveryReport& /*report*/) {
   for (Ppn ppn = 0; ppn < total; ++ppn) {
     if (!page_valid(ppn)) continue;
     const OobData& oob = flash().read_oob(ppn);
+    // Valid flash pages now include translation pages (docs/MAPPING.md);
+    // the meta store tracks user data only.
+    if (oob.kind != PageKind::kUser) continue;
     MetaEntry entry;
     entry.write_time = oob.write_time;
     entry.hidden = oob.hidden;

@@ -141,6 +141,14 @@ class PhftlFtl : public FtlBase {
                                   const OobData& oob) override {
     return classify_gc_write(lpn, gc_count, oob);
   }
+  /// Translation pages carry no GRU-predictable host access pattern: dirty
+  /// write-backs rewrite at eviction cadence (short-lived → stream 0); a
+  /// copy GC had to migrate stayed live through a whole collection
+  /// (long-lived → stream 1). The learned user separation is untouched.
+  std::uint32_t classify_translation_write(std::uint64_t,
+                                           bool gc_migration) override {
+    return gc_migration ? kStreamLong : kStreamShort;
+  }
   std::uint64_t pick_victim() override;
   std::uint64_t data_capacity(std::uint64_t sb) const override;
   void finalize_superblock(std::uint64_t sb) override;

@@ -31,10 +31,17 @@ namespace phftl {
 class FaultInjector;
 
 /// What a programmed page holds. User pages carry a logical mapping; meta
-/// pages (superblock-tail ML metadata, lpn == kInvalidLpn) and trim-journal
-/// pages (range-encoded discard records) carry none and are skipped by the
-/// mount-time L2P rebuild.
-enum class PageKind : std::uint8_t { kUser = 0, kMeta = 1, kTrimJournal = 2 };
+/// pages (superblock-tail ML metadata, lpn == kInvalidLpn), trim-journal
+/// pages (range-encoded discard records), and translation pages (on-flash
+/// L2P segments, docs/MAPPING.md) carry none and are skipped by the
+/// mount-time L2P rebuild — translation pages are instead keyed by
+/// OobData::tpn and rebuild the Global Translation Directory.
+enum class PageKind : std::uint8_t {
+  kUser = 0,
+  kMeta = 1,
+  kTrimJournal = 2,
+  kTranslation = 3,
+};
 
 /// Per-page out-of-band area. Sized to hold the PHFTL per-page metadata
 /// copy (LPN + 8B write timestamp + 32B hidden state, §III-C) with room to
@@ -61,6 +68,10 @@ struct OobData {
   /// flash copy has program_seq <= this cutoff (a rewrite after the trim
   /// necessarily programmed with a higher sequence).
   std::uint64_t trim_seq = 0;
+  /// Translation pages only (kind == kTranslation): which translation page
+  /// this flash copy holds. lpn stays kInvalidLpn so the L2P rebuild skips
+  /// it; the GTD rebuild keys on this field, newest program_seq wins.
+  std::uint64_t tpn = kInvalidLpn;
 };
 
 enum class SuperblockState : std::uint8_t { kFree, kOpen, kClosed, kBad };

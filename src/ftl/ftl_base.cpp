@@ -22,8 +22,8 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
       sb_meta_(cfg.geom.num_superblocks()),
       open_(num_streams),
       pending_retire_(cfg.geom.num_superblocks(), 0),
-      is_journal_sb_(cfg.geom.num_superblocks(), 0),
       wear_(cfg.geom.num_superblocks(), 0),
+      is_journal_sb_(cfg.geom.num_superblocks(), 0),
       tombstone_(logical_pages_, 0) {
   PHFTL_CHECK_MSG(num_streams_ >= 1, "at least one stream required");
   // Attach the injector before building the free pool: factory bad blocks
@@ -66,6 +66,27 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
                       cfg.geom.pages_per_superblock());
   journal_compact_threshold_ =
       std::max<std::uint64_t>(cfg.geom.pages_per_superblock() / 2, 2);
+  // Sized unconditionally so is_translation_sb() is always answerable;
+  // with the tier off no bit ever gets set.
+  is_translation_sb_.assign(cfg.geom.num_superblocks(), 0);
+  if (cfg_.mapping_tier) {
+    // One translation page maps tp_entries_ consecutive LPNs; the physical
+    // ceiling is what the page data area holds at 8 B per PPN. Smaller
+    // values emulate production segment counts on the simulator's small
+    // logical space (docs/MAPPING.md "RAM-budget methodology").
+    const std::uint64_t max_entries =
+        std::max<std::uint64_t>(cfg.geom.page_size / 8, 1);
+    tp_entries_ = cfg_.tp_entries == 0 ? max_entries : cfg_.tp_entries;
+    PHFTL_CHECK_MSG(tp_entries_ <= max_entries,
+                    "tp_entries exceeds the page data area (page_size/8)");
+    num_tps_ = (logical_pages_ + tp_entries_ - 1) / tp_entries_;
+    gtd_.assign(num_tps_, kInvalidPpn);
+    const std::uint64_t cmt_cap = std::max<std::uint64_t>(cfg_.cmt_pages, 1);
+    cmt_.reset(cmt_cap);
+    cmt_entries_.assign(cmt_cap * tp_entries_, kInvalidPpn);
+    cmt_dirty_.assign(cmt_cap, 0);
+    trans_open_.assign(num_streams_, OpenStream::kNoSb);
+  }
   register_ftl_metrics();
 }
 
@@ -151,6 +172,40 @@ void FtlBase::register_ftl_metrics() {
   retired_ctr_ = &m.counter("flash.blocks_retired", "superblocks",
                             "superblocks retired after a program failure "
                             "(drained by GC, no erase)");
+  host_reads_unmapped_ctr_ =
+      &m.counter("ftl.host_reads_unmapped", "pages",
+                 "host reads of unmapped LPNs (never written, or trimmed), "
+                 "served as zero-fill without touching flash");
+  cmt_hits_ctr_ = &m.counter("ftl.map.cmt_hits", "lookups",
+                             "mapping-tier lookups served by a resident "
+                             "translation page");
+  cmt_misses_ctr_ =
+      &m.counter("ftl.map.cmt_misses", "lookups",
+                 "mapping-tier lookups that missed the CMT (segment fetched "
+                 "from flash, adopted from the write-back buffer, or "
+                 "materialized empty)");
+  trans_reads_ctr_ =
+      &m.counter("ftl.map.translation_reads", "pages",
+                 "translation pages fetched from flash (CMT demand misses + "
+                 "GC reads of non-resident valid translation pages)");
+  trans_writes_ctr_ =
+      &m.counter("ftl.map.translation_writes", "pages",
+                 "translation pages programmed (dirty write-backs + GC "
+                 "migrations + mount-time reconciliation); part of "
+                 "flash_writes(), so WA charges the tier");
+  trans_gc_writes_ctr_ =
+      &m.counter("ftl.map.translation_gc_writes", "pages",
+                 "GC migrations of valid translation pages (a subset of "
+                 "ftl.map.translation_writes)");
+  wb_flushes_ctr_ =
+      &m.counter("ftl.map.wb_flushes", "flushes",
+                 "batched write-back flushes of evicted dirty translation "
+                 "pages");
+  trans_reconciled_ctr_ =
+      &m.counter("ftl.map.reconciled", "pages",
+                 "translation pages rewritten at mount because their flash "
+                 "copy trailed the OOB-rebuilt truth (dirty CMT state lost "
+                 "to the cut, or trims replayed past them)");
   recovery_mounts_ctr_ = &m.counter("recovery.mounts", "mounts",
                                     "recover() calls (unclean-shutdown "
                                     "mounts serviced)");
@@ -224,6 +279,21 @@ void FtlBase::register_ftl_metrics() {
   wear_max_gauge_ = &m.gauge("flash.wear_max", "erases",
                              "highest erase count among in-service "
                              "superblocks");
+  cmt_hit_rate_gauge_ =
+      &m.gauge("ftl.map.cmt_hit_rate", "ratio",
+               "CMT hits / (hits + misses) over the run so far");
+  map_ram_gauge_ = &m.gauge("ftl.map.ram_bytes", "bytes",
+                            "mapping-tier RAM footprint (GTD + CMT slab + "
+                            "cache index + write-back buffer capacity; "
+                            "docs/MAPPING.md methodology)");
+  read_amp_gauge_ =
+      &m.gauge("ftl.map.read_amplification", "ratio",
+               "(host flash reads + host-path translation fetches) / host "
+               "reads including unmapped zero-fills — the demand-paging "
+               "double-read penalty");
+  trans_wa_gauge_ = &m.gauge("ftl.map.translation_wa", "ratio",
+                             "translation pages programmed per user page "
+                             "written (the tier's own WA contribution)");
 }
 
 void FtlBase::refresh_observability() {
@@ -240,6 +310,27 @@ void FtlBase::refresh_observability() {
   gc_inflight_moved_gauge_->set(static_cast<double>(gc_round_moved_));
   wear_spread_gauge_->set(wear_spread());
   wear_max_gauge_->set(static_cast<double>(wear_max_));
+  if (cfg_.mapping_tier) {
+    const std::uint64_t lookups = stats_.cmt_hits + stats_.cmt_misses;
+    cmt_hit_rate_gauge_->set(
+        lookups == 0 ? 0.0
+                     : static_cast<double>(stats_.cmt_hits) /
+                           static_cast<double>(lookups));
+    map_ram_gauge_->set(static_cast<double>(mapping_ram_bytes()));
+    const std::uint64_t host_reads_total =
+        stats_.host_reads + stats_.host_reads_unmapped;
+    read_amp_gauge_->set(
+        host_reads_total == 0
+            ? 0.0
+            : static_cast<double>(stats_.host_reads +
+                                  stats_.trans_reads_host) /
+                  static_cast<double>(host_reads_total));
+    trans_wa_gauge_->set(
+        stats_.user_writes == 0
+            ? 0.0
+            : static_cast<double>(stats_.trans_writes) /
+                  static_cast<double>(stats_.user_writes));
+  }
 }
 
 double FtlBase::wear_mean() const {
@@ -324,9 +415,15 @@ std::uint64_t FtlBase::capacity_watermark_pages() const {
   // free-pool target, and the trim journal (one superblock is always
   // reserved for it — compaction needs somewhere to rewrite records even
   // before the first trim).
-  const std::uint64_t reserve =
-      gc_trigger_count_ + flash_.bad_block_count() +
-      std::max<std::uint64_t>(journal_sbs_.size(), 1);
+  std::uint64_t reserve = gc_trigger_count_ + flash_.bad_block_count() +
+                          std::max<std::uint64_t>(journal_sbs_.size(), 1);
+  if (cfg_.mapping_tier) {
+    // The translation-page working set needs room of its own: every live
+    // TP holds one flash page, plus one superblock of slack for the
+    // write-new-before-invalidate-old churn.
+    const std::uint64_t ppsb = geom().pages_per_superblock();
+    reserve += (num_tps_ + ppsb - 1) / ppsb + 1;
+  }
   const std::uint64_t total = geom().num_superblocks();
   if (reserve >= total) return 0;
   return (total - reserve) * data_capacity(0);
@@ -347,7 +444,10 @@ void FtlBase::submit(const HostRequest& req) {
 
 SubmitResult FtlBase::submit_checked(const HostRequest& req) {
   PHFTL_CHECK(req.num_pages > 0);
-  PHFTL_CHECK_MSG(req.start_lpn + req.num_pages <= logical_pages_,
+  // Overflow-safe form: `start + n <= logical_pages_` wraps for adversarial
+  // near-UINT64_MAX starts and would admit an out-of-range request.
+  PHFTL_CHECK_MSG(req.start_lpn < logical_pages_ &&
+                      req.num_pages <= logical_pages_ - req.start_lpn,
                   "request beyond logical capacity");
   on_request(req);
   SubmitResult res;
@@ -456,6 +556,7 @@ WriteResult FtlBase::write_page_impl(Lpn lpn, const WriteContext& ctx_in,
   const Ppn ppn = append(stream, lpn, /*payload=*/lpn ^ 0x5bd1e995ULL, oob);
   l2p_[lpn] = ppn;
   gc_count_[ppn] = 0;
+  if (cfg_.mapping_tier) map_update(lpn, ppn);
   if (new_mapping) ++mapped_count_;
   if (tombstone_[lpn]) {  // rewrite supersedes any journaled trim
     tombstone_[lpn] = 0;
@@ -475,19 +576,31 @@ WriteResult FtlBase::write_page_impl(Lpn lpn, const WriteContext& ctx_in,
 std::uint64_t FtlBase::read_page(Lpn lpn) {
   PHFTL_CHECK(lpn < logical_pages_);
   on_host_read(lpn);
-  if (l2p_[lpn] == kInvalidPpn) return 0;
+  const Ppn ppn =
+      cfg_.mapping_tier ? map_lookup(lpn, /*host_read=*/true) : l2p_[lpn];
+  if (ppn == kInvalidPpn) {
+    // Zero-fill, no flash touched — but it is real host traffic, and the
+    // mapping tier's read-amplification denominator needs an honest read
+    // ledger (a demand fetch may already have been charged above).
+    ++stats_.host_reads_unmapped;
+    host_reads_unmapped_ctr_->inc();
+    return 0;
+  }
   ++stats_.host_reads;
   host_reads_ctr_->inc();
-  return flash_.read(l2p_[lpn]);
+  return flash_.read(ppn);
 }
 
 bool FtlBase::trim_page(Lpn lpn) {
-  PHFTL_CHECK(lpn < logical_pages_);
+  PHFTL_CHECK_MSG(lpn < logical_pages_, "trim beyond logical capacity");
   return trim_range(lpn, 1) > 0;
 }
 
 std::uint64_t FtlBase::trim_range(Lpn start, std::uint64_t n) {
-  PHFTL_CHECK(start + n <= logical_pages_);
+  // Overflow-safe (see submit_checked): the naive sum wraps for
+  // near-UINT64_MAX starts.
+  PHFTL_CHECK_MSG(start < logical_pages_ && n <= logical_pages_ - start,
+                  "trim beyond logical capacity");
   on_host_trim(start, n);
   // Unmap in RAM first, collecting the *effective* runs (pages that were
   // actually mapped); already-unmapped pages are no-ops and neither counted
@@ -508,6 +621,7 @@ std::uint64_t FtlBase::trim_range(Lpn start, std::uint64_t n) {
     }
     invalidate(lpn);
     l2p_[lpn] = kInvalidPpn;
+    if (cfg_.mapping_tier) map_update(lpn, kInvalidPpn);
     PHFTL_CHECK(mapped_count_ > 0);
     --mapped_count_;
     if (!tombstone_[lpn]) {
@@ -853,6 +967,19 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
   journal_pages_used_ = 0;
   live_tombstones_ = 0;
   mapped_count_ = 0;
+  std::fill(is_translation_sb_.begin(), is_translation_sb_.end(), 0);
+  std::vector<std::uint64_t> trans_best_seq;
+  if (cfg_.mapping_tier) {
+    // Resident and buffered translation state is volatile; flash copies
+    // are re-discovered below and reconciled by recover().
+    std::fill(gtd_.begin(), gtd_.end(), kInvalidPpn);
+    cmt_.clear();
+    std::fill(cmt_dirty_.begin(), cmt_dirty_.end(), 0);
+    wb_buffer_.clear();
+    wb_inflight_tpn_ = kInvalidLpn;
+    wb_inflight_blob_.clear();
+    trans_best_seq.assign(num_tps_, 0);
+  }
 
   // Pass 1: the newest copy (highest program sequence) of each LPN wins.
   // Free blocks hold nothing; bad blocks are excluded because their
@@ -880,6 +1007,20 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
         ++journal_pages_used_;
         continue;
       }
+      if (oob.kind == PageKind::kTranslation) {
+        // Keyed by tpn, not lpn: the newest flash copy of each translation
+        // page rebuilds the GTD. A tier-off mount over tier-on flash state
+        // is a config error, caught here rather than silently dropped.
+        PHFTL_CHECK_MSG(cfg_.mapping_tier,
+                        "translation pages on flash but mapping_tier off");
+        is_translation_sb_[sb] = 1;
+        PHFTL_CHECK(oob.tpn < num_tps_);
+        if (oob.program_seq > trans_best_seq[oob.tpn]) {
+          trans_best_seq[oob.tpn] = oob.program_seq;
+          gtd_[oob.tpn] = ppn;
+        }
+        continue;
+      }
       if (oob.lpn == kInvalidLpn) continue;  // meta page, not user data
       PHFTL_CHECK(oob.lpn < logical_pages_);
       if (oob.program_seq > best_seq[oob.lpn]) {
@@ -898,6 +1039,17 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
     gc_count_[ppn] = flash_.read_oob(ppn).gc_count;
     ++sb_meta_[geom().superblock_of(ppn)].valid_count;
     ++mapped_count_;
+  }
+  // Pass 2b: live translation pages are valid flash pages too (p2l_ holds
+  // their tpn), but they map no LPN and stay out of mapped_count_.
+  if (cfg_.mapping_tier) {
+    for (std::uint64_t tpn = 0; tpn < num_tps_; ++tpn) {
+      const Ppn ppn = gtd_[tpn];
+      if (ppn == kInvalidPpn) continue;
+      p2l_[ppn] = tpn;
+      valid_bit_[ppn] = 1;
+      ++sb_meta_[geom().superblock_of(ppn)].valid_count;
+    }
   }
 
   // Pass 3: rebuild the victim index from the recovered counts. Journal
@@ -951,7 +1103,9 @@ void FtlBase::replay_trim_journal(RecoveryReport& rep) {
       for (std::size_t i = 0; i + 1 < blob.size(); i += 2) {
         const Lpn start = blob[i];
         const std::uint64_t len = blob[i + 1];
-        PHFTL_CHECK(start + len <= logical_pages_);
+        // Overflow-safe: journal records are written by trim_range, but a
+        // corrupt blob must not wrap the sum past the check.
+        PHFTL_CHECK(start < logical_pages_ && len <= logical_pages_ - start);
         ++rep.trim_records_replayed;
         for (std::uint64_t k = 0; k < len; ++k) {
           const Lpn lpn = start + k;
@@ -992,6 +1146,9 @@ RecoveryReport FtlBase::recover() {
   // Step 2: everything RAM-only is gone. (Journal extent, tombstone set,
   // and mapped count are re-derived from flash by the rebuild + replay.)
   for (auto& os : open_) os.sb = OpenStream::kNoSb;
+  if (cfg_.mapping_tier)
+    std::fill(trans_open_.begin(), trans_open_.end(), OpenStream::kNoSb);
+  in_wb_flush_ = false;
   std::fill(pending_retire_.begin(), pending_retire_.end(), 0);
   pending_retire_count_ = 0;
   prev_req_end_ = kInvalidLpn;
@@ -1061,6 +1218,19 @@ RecoveryReport FtlBase::recover() {
 
   // Step 6: scheme-side re-derivation (meta cache, trainer, stream state).
   on_recovery(rep);
+
+  // Step 6.5: the OOB rebuild is the mapping authority; on-flash
+  // translation pages may trail it (dirty CMT entries and buffered
+  // write-backs died with RAM, and the trim replay unmapped LPNs some
+  // flash copies still carry). Rewrite exactly the diverged pages so the
+  // tier's invariant holds from the first post-mount lookup. Runs after
+  // on_recovery: the rewrites can trigger GC, whose classify hooks need
+  // the scheme state already re-derived.
+  if (cfg_.mapping_tier) {
+    for (std::uint64_t tpn = 0; tpn < num_tps_; ++tpn)
+      if (gtd_[tpn] != kInvalidPpn) ++rep.trans_gtd_rebuilt;
+    reconcile_translation_pages(rep);
+  }
 
   // Step 7: compact the journal down to (at most) one fresh superblock.
   // Detected journal superblocks are all closed, so without this every
@@ -1203,6 +1373,18 @@ void FtlBase::drain() {
   // Leave the drive quiescent: a preempted round would otherwise hold its
   // victim out of the victim index while harnesses compare final state.
   if (gc_victim_ != kNoVictim) PHFTL_CHECK(gc_step(~0ULL));
+  if (!cfg_.mapping_tier) return;
+  // Flush the write-back buffer so every buffered translation write is on
+  // flash and charged to WA before harnesses read the counters. Flushing
+  // can trigger GC (which may evict more dirty pages into a fresh buffer),
+  // so iterate to quiescence. Dirty *resident* CMT entries intentionally
+  // stay put — like a real cache, only eviction writes them back.
+  std::uint64_t spins = 0;
+  while (!wb_buffer_.empty() || gc_victim_ != kNoVictim) {
+    PHFTL_CHECK_MSG(spins++ < num_tps_ * 64 + 64, "drain not converging");
+    flush_wb_buffer();
+    if (gc_victim_ != kNoVictim) PHFTL_CHECK(gc_step(~0ULL));
+  }
 }
 
 bool FtlBase::gc_begin_round() {
@@ -1275,6 +1457,15 @@ bool FtlBase::gc_step(std::uint64_t budget) {
     // which is why time-sliced WA is bounded by stop-the-world's, not
     // identical to it (docs/QOS.md).
     if (!valid_bit_[ppn]) continue;
+    // Translation pages are first-class GC citizens (Dayan & Bonnet): the
+    // per-page kind check (not is_translation_sb_) keeps the round correct
+    // even when pool-pressure borrowing mixed page kinds into one block.
+    if (cfg_.mapping_tier &&
+        flash_.read_oob(ppn).kind == PageKind::kTranslation) {
+      gc_migrate_translation_page(victim, ppn);
+      ++moved;
+      continue;
+    }
     const Lpn lpn = p2l_[ppn];
     PHFTL_CHECK(lpn != kInvalidLpn && l2p_[lpn] == ppn);
 
@@ -1301,6 +1492,11 @@ bool FtlBase::gc_step(std::uint64_t budget) {
     const Ppn new_ppn = append(stream, lpn, payload, oob);
     l2p_[lpn] = new_ppn;
     gc_count_[new_ppn] = new_count;
+    // Patch the owning translation page. CMT residency batches the patches
+    // per victim (Dayan & Bonnet): the victim's LPNs are segment-clustered,
+    // so one demand fetch serves a run of migrations and the dirty page
+    // writes back once.
+    if (cfg_.mapping_tier) map_update(lpn, new_ppn);
     ++stats_.gc_writes;
     if (wl_round_) {
       ++stats_.wl_migrations;
@@ -1344,6 +1540,376 @@ bool FtlBase::gc_step(std::uint64_t budget) {
   gc_cursor_ = 0;
   gc_round_moved_ = 0;
   return true;
+}
+
+// --- Demand-paged mapping tier (docs/MAPPING.md) ---
+//
+// The in-RAM l2p_ stays fully maintained as the ground-truth oracle; with
+// the tier on, every lookup is served from GTD/CMT/flash translation pages
+// and PHFTL_CHECKed against it. The tier's core invariant: for any
+// translation page neither CMT-resident nor in the write-back buffer, the
+// flash blob at gtd_[tpn] equals the l2p_ segment exactly (or the GTD slot
+// is empty and the segment is fully unmapped).
+
+std::uint64_t FtlBase::mapping_ram_bytes() const {
+  if (!cfg_.mapping_tier) return 0;
+  const std::uint64_t cap = cmt_.capacity();
+  // Honest footprint (docs/MAPPING.md methodology): GTD + CMT entry slab +
+  // cache index (slab nodes: 8 B key + 2x4 B links; slot table: 4 B per
+  // slot at <=50% load, power-of-two) + dirty flags + write-back buffer at
+  // its batch capacity.
+  std::uint64_t slots = 16;
+  while (slots < cap * 2) slots <<= 1;
+  return num_tps_ * sizeof(Ppn)                       // GTD
+         + cap * tp_entries_ * sizeof(Ppn)            // CMT entries
+         + cap * 16 + slots * 4                       // FlatMetaCache index
+         + cap                                        // dirty flags
+         + std::max<std::uint64_t>(cfg_.cmt_wb_batch, 1) *
+               (tp_entries_ * sizeof(Ppn) + 8);       // write-back buffer
+}
+
+Ppn FtlBase::tier_lookup(Lpn lpn) {
+  PHFTL_CHECK_MSG(cfg_.mapping_tier, "tier_lookup requires mapping_tier");
+  PHFTL_CHECK(lpn < logical_pages_);
+  return map_lookup(lpn, /*host_read=*/false);
+}
+
+bool FtlBase::wb_contains(std::uint64_t tpn) const {
+  for (const auto& entry : wb_buffer_)
+    if (entry.first == tpn) return true;
+  return false;
+}
+
+bool FtlBase::wb_take(std::uint64_t tpn, std::vector<std::uint64_t>& out) {
+  for (std::size_t i = 0; i < wb_buffer_.size(); ++i) {
+    if (wb_buffer_[i].first == tpn) {
+      out = std::move(wb_buffer_[i].second);
+      wb_buffer_.erase(wb_buffer_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+Ppn FtlBase::map_lookup(Lpn lpn, bool host_read) {
+  const std::uint64_t tpn = lpn / tp_entries_;
+  const std::uint64_t idx = lpn % tp_entries_;
+  // Empty-GTD short circuit: a segment with no flash copy, no residency,
+  // and no buffered write-back has never mapped anything — answer from the
+  // GTD alone, without polluting the CMT or charging a fetch.
+  if (gtd_[tpn] == kInvalidPpn &&
+      cmt_.node_of(tpn) == core::FlatMetaCache::kNoNode &&
+      tpn != wb_inflight_tpn_ && !wb_contains(tpn)) {
+    PHFTL_CHECK(l2p_[lpn] == kInvalidPpn);
+    return kInvalidPpn;
+  }
+  const std::uint32_t node = cmt_fetch(tpn, /*exempt_idx=*/~0ULL, host_read);
+  const Ppn ppn = cmt_entries_[node * tp_entries_ + idx];
+  PHFTL_CHECK_MSG(ppn == l2p_[lpn],
+                  "mapping tier diverged from the L2P shadow");
+  maybe_flush_wb();
+  return ppn;
+}
+
+void FtlBase::map_update(Lpn lpn, Ppn new_ppn) {
+  const std::uint64_t tpn = lpn / tp_entries_;
+  const std::uint64_t idx = lpn % tp_entries_;
+  // l2p_[lpn] already holds new_ppn; the fetch's integrity check must skip
+  // exactly this slot (its flash copy legitimately predates the update).
+  const std::uint32_t node = cmt_fetch(tpn, idx, /*host_read=*/false);
+  cmt_entries_[node * tp_entries_ + idx] = new_ppn;
+  cmt_dirty_[node] = 1;
+  maybe_flush_wb();
+}
+
+std::uint32_t FtlBase::cmt_fetch(std::uint64_t tpn, std::uint64_t exempt_idx,
+                                 bool host_read) {
+  PHFTL_CHECK(tpn < num_tps_);
+  {
+    const std::uint32_t node = cmt_.node_of(tpn);
+    if (node != core::FlatMetaCache::kNoNode) {
+      ++stats_.cmt_hits;
+      cmt_hits_ctr_->inc();
+      const core::CacheAccess acc = cmt_.access(tpn);  // LRU touch
+      PHFTL_CHECK(acc.hit && acc.node == node);
+      obs_.trace().record(obs::TraceEventType::kTransCacheHit, virtual_clock_,
+                          tpn);
+      return node;
+    }
+  }
+  ++stats_.cmt_misses;
+  cmt_misses_ctr_->inc();
+
+  // Content source, newest first: the write-back buffer still owns the
+  // freshest copy of a page evicted dirty (adopting it re-dirties the
+  // entry — its flash copy is stale); otherwise the flash copy; otherwise
+  // the segment has never been written back and materializes empty.
+  std::vector<std::uint64_t> content;
+  bool dirty = false;
+  if (wb_take(tpn, content)) {
+    dirty = true;
+  } else if (tpn == wb_inflight_tpn_) {
+    // The segment's write-back is being programmed right now (this fetch
+    // came from GC triggered by that very program). Adopt the in-flight
+    // content; dirty is conservative — the landing flash copy will match.
+    content = wb_inflight_blob_;
+    dirty = true;
+  } else if (gtd_[tpn] != kInvalidPpn) {
+    content = flash_.read_blob(gtd_[tpn]);
+    ++stats_.trans_reads;
+    trans_reads_ctr_->inc();
+    if (host_read) ++stats_.trans_reads_host;
+    obs_.trace().record(obs::TraceEventType::kTransFetch, virtual_clock_,
+                        gtd_[tpn], tpn);
+  }
+  content.resize(tp_entries_, kInvalidPpn);
+
+  // A dirty victim must be buffered BEFORE access() recycles its slab slot
+  // for the incoming key (the slot's payload is the victim's content).
+  if (cmt_.size() == cmt_.capacity()) {
+    const std::uint64_t vkey = cmt_.lru_key();
+    const std::uint32_t vnode = cmt_.node_of(vkey);
+    PHFTL_CHECK(vnode != core::FlatMetaCache::kNoNode);
+    if (cmt_dirty_[vnode]) {
+      wb_buffer_.emplace_back(
+          vkey, std::vector<std::uint64_t>(
+                    cmt_entries_.begin() +
+                        static_cast<std::ptrdiff_t>(vnode * tp_entries_),
+                    cmt_entries_.begin() +
+                        static_cast<std::ptrdiff_t>((vnode + 1) *
+                                                    tp_entries_)));
+      cmt_dirty_[vnode] = 0;
+    }
+  }
+  const core::CacheAccess acc = cmt_.access(tpn);
+  PHFTL_CHECK(!acc.hit);
+  std::copy(content.begin(), content.end(),
+            cmt_entries_.begin() +
+                static_cast<std::ptrdiff_t>(acc.node * tp_entries_));
+  cmt_dirty_[acc.node] = dirty ? 1 : 0;
+
+  // Integrity net: whatever the source, the fetched segment must equal the
+  // l2p_ shadow — except the one slot an in-flight update is about to
+  // patch (map_update names it via exempt_idx).
+  const std::uint64_t base = tpn * tp_entries_;
+  for (std::uint64_t i = 0; i < tp_entries_; ++i) {
+    if (i == exempt_idx) continue;
+    const Lpn lpn = base + i;
+    if (lpn >= logical_pages_) break;
+    PHFTL_CHECK_MSG(
+        cmt_entries_[acc.node * tp_entries_ + i] == l2p_[lpn],
+        "fetched translation page diverged from the L2P shadow");
+  }
+  return acc.node;
+}
+
+void FtlBase::maybe_flush_wb() {
+  // Never flush mid-GC-step (the round's budget is the QoS contract) or
+  // reentrantly; drain() and the next host-path trigger pick it up.
+  if (in_wb_flush_ || in_gc_) return;
+  if (wb_buffer_.size() < std::max<std::uint64_t>(cfg_.cmt_wb_batch, 1))
+    return;
+  flush_wb_buffer();
+}
+
+void FtlBase::flush_wb_buffer() {
+  if (wb_buffer_.empty() || in_wb_flush_ || in_gc_) return;
+  in_wb_flush_ = true;
+  std::uint64_t spins = 0;
+  while (!wb_buffer_.empty()) {
+    PHFTL_CHECK_MSG(spins++ < num_tps_ * 64 + 64,
+                    "write-back flush not converging");
+    // Park the entry in the in-flight holder while its program runs: the
+    // program can trigger GC, whose fetches of this very segment must see
+    // this (newest) content, not the stale flash copy.
+    wb_inflight_tpn_ = wb_buffer_.front().first;
+    wb_inflight_blob_ = std::move(wb_buffer_.front().second);
+    wb_buffer_.erase(wb_buffer_.begin());
+    append_translation_page(wb_inflight_tpn_, wb_inflight_blob_,
+                            /*gc_migration=*/false);
+    wb_inflight_tpn_ = kInvalidLpn;
+    wb_inflight_blob_.clear();
+  }
+  wb_flushes_ctr_->inc();
+  in_wb_flush_ = false;
+}
+
+Ppn FtlBase::append_translation_page(std::uint64_t tpn,
+                                     std::vector<std::uint64_t> blob,
+                                     bool gc_migration) {
+  const std::uint32_t stream = classify_translation_write(tpn, gc_migration);
+  PHFTL_CHECK(stream < num_streams_);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    PHFTL_CHECK_MSG(attempt < 64, "translation program retry limit exceeded");
+    std::uint32_t target = stream;
+    if (trans_open_[target] == OpenStream::kNoSb && free_pool_.empty()) {
+      if (!in_gc_ && !in_compaction_) maybe_gc();
+      if (free_pool_.empty()) {
+        // Mid-GC (or still empty after reclaim): borrow any open
+        // translation superblock rather than deadlock; separation quality
+        // degrades for those pages only, mirroring append()'s fallback.
+        bool found = false;
+        for (std::uint32_t s = 0; s < num_streams_; ++s) {
+          if (trans_open_[s] != OpenStream::kNoSb) {
+            target = s;
+            found = true;
+            break;
+          }
+        }
+        PHFTL_CHECK_MSG(found,
+                        "capacity exhausted: no open translation superblock");
+        ++stats_.stream_borrows;
+        stream_borrows_ctr_->inc();
+      }
+    }
+    if (trans_open_[target] == OpenStream::kNoSb) {
+      trans_open_[target] = allocate_superblock(target);
+      is_translation_sb_[trans_open_[target]] = 1;
+      obs_.trace().record(obs::TraceEventType::kSuperblockOpen, virtual_clock_,
+                          trans_open_[target], 0, target);
+    }
+    const std::uint64_t sb = trans_open_[target];
+    OobData oob;  // translation pages carry no LPN; keyed by tpn
+    oob.kind = PageKind::kTranslation;
+    oob.tpn = tpn;
+    oob.write_time = virtual_clock_;
+    const Ppn ppn = flash_.program_blob(sb, oob, blob);
+    if (ppn == kInvalidPpn) {
+      ++stats_.program_failures;
+      program_fail_ctr_->inc();
+      obs_.trace().record(obs::TraceEventType::kProgramFail, virtual_clock_,
+                          sb, 0, target);
+      flash_.close_superblock(sb);
+      sb_meta_[sb].close_time = virtual_clock_;
+      if (!pending_retire_[sb]) {
+        pending_retire_[sb] = 1;
+        ++pending_retire_count_;
+      }
+      // Unlike journal blocks, translation blocks are ordinary GC
+      // citizens: index the failing block so GC drains and retires it.
+      victim_index_.insert(sb, sb_meta_[sb].valid_count);
+      obs_.trace().record(obs::TraceEventType::kSuperblockClose,
+                          virtual_clock_, sb, sb_meta_[sb].valid_count,
+                          target);
+      trans_open_[target] = OpenStream::kNoSb;
+      continue;
+    }
+    // New copy durable first, then supersede the old one (write-new-
+    // before-invalidate-old; recovery orders the two by program_seq).
+    p2l_[ppn] = tpn;
+    valid_bit_[ppn] = 1;
+    ++sb_meta_[sb].valid_count;
+    const Ppn old = gtd_[tpn];
+    if (old != kInvalidPpn) {
+      PHFTL_CHECK(valid_bit_[old] && p2l_[old] == tpn);
+      valid_bit_[old] = 0;
+      p2l_[old] = kInvalidLpn;
+      const std::uint64_t old_sb = geom().superblock_of(old);
+      PHFTL_CHECK(sb_meta_[old_sb].valid_count > 0);
+      --sb_meta_[old_sb].valid_count;
+      if (victim_index_.contains(old_sb))
+        victim_index_.update(old_sb, sb_meta_[old_sb].valid_count);
+    }
+    gtd_[tpn] = ppn;
+    ++stats_.trans_writes;
+    trans_writes_ctr_->inc();
+    if (gc_migration) {
+      ++stats_.trans_gc_writes;
+      trans_gc_writes_ctr_->inc();
+    }
+    stream_flash_writes_[target]->inc();
+    obs_.trace().record(obs::TraceEventType::kTransProgram, virtual_clock_,
+                        ppn, tpn, target);
+    obs_.trace().record(obs::TraceEventType::kFlashProgram, virtual_clock_,
+                        ppn, 0, target);
+    // Translation blocks have no meta-page tail: close at the raw
+    // superblock boundary and enter the victim index like any data block.
+    if (flash_.write_pointer(sb) >= geom().pages_per_superblock()) {
+      flash_.close_superblock(sb);
+      sb_meta_[sb].close_time = virtual_clock_;
+      victim_index_.insert(sb, sb_meta_[sb].valid_count);
+      obs_.trace().record(obs::TraceEventType::kSuperblockClose,
+                          virtual_clock_, sb, sb_meta_[sb].valid_count,
+                          target);
+      trans_open_[target] = OpenStream::kNoSb;
+    }
+    return ppn;
+  }
+}
+
+void FtlBase::gc_migrate_translation_page(std::uint64_t victim, Ppn ppn) {
+  const OobData& oob = flash_.read_oob(ppn);
+  const std::uint64_t tpn = oob.tpn;
+  PHFTL_CHECK(tpn < num_tps_);
+  PHFTL_CHECK(cfg_.geom.superblock_of(ppn) == victim);
+  PHFTL_CHECK(gtd_[tpn] == ppn && p2l_[ppn] == tpn);
+  // Freshest content wins, and residency/buffering make the migration
+  // absorb pending updates for free (the dirty state rides the new flash
+  // copy): CMT-resident first, then the write-back buffer — the victim may
+  // hold the stale flash copy of a page evicted dirty — then the flash
+  // copy itself (charged as a translation read).
+  std::vector<std::uint64_t> blob;
+  const std::uint32_t node = cmt_.node_of(tpn);
+  if (node != core::FlatMetaCache::kNoNode) {
+    blob.assign(cmt_entries_.begin() +
+                    static_cast<std::ptrdiff_t>(node * tp_entries_),
+                cmt_entries_.begin() +
+                    static_cast<std::ptrdiff_t>((node + 1) * tp_entries_));
+  } else if (wb_take(tpn, blob)) {
+    // The buffered write-back rides the migration instead of a later flush.
+  } else if (tpn == wb_inflight_tpn_) {
+    // The victim holds the stale flash copy of the write-back being
+    // programmed right now; migrate the in-flight (newest) content.
+    blob = wb_inflight_blob_;
+  } else {
+    blob = flash_.read_blob(ppn);
+    ++stats_.trans_reads;
+    trans_reads_ctr_->inc();
+  }
+  blob.resize(tp_entries_, kInvalidPpn);
+  append_translation_page(tpn, std::move(blob), /*gc_migration=*/true);
+  // The new flash copy now matches the resident content exactly.
+  if (node != core::FlatMetaCache::kNoNode) cmt_dirty_[node] = 0;
+  if (wl_round_) {
+    ++stats_.wl_migrations;
+    wl_migrations_ctr_->inc();
+  }
+}
+
+void FtlBase::reconcile_translation_pages(RecoveryReport& rep) {
+  std::vector<std::uint64_t> truth(tp_entries_, kInvalidPpn);
+  for (std::uint64_t tpn = 0; tpn < num_tps_; ++tpn) {
+    const std::uint64_t base = tpn * tp_entries_;
+    std::fill(truth.begin(), truth.end(), kInvalidPpn);
+    bool any_mapped = false;
+    for (std::uint64_t i = 0; i < tp_entries_; ++i) {
+      const Lpn lpn = base + i;
+      if (lpn >= logical_pages_) break;
+      truth[i] = l2p_[lpn];
+      any_mapped = any_mapped || truth[i] != kInvalidPpn;
+    }
+    const Ppn cur = gtd_[tpn];
+    if (!any_mapped) {
+      // Fully unmapped segment: drop the stale flash copy (restoring the
+      // empty-GTD invariant) instead of writing an all-invalid page.
+      if (cur != kInvalidPpn) {
+        PHFTL_CHECK(valid_bit_[cur] && p2l_[cur] == tpn);
+        valid_bit_[cur] = 0;
+        p2l_[cur] = kInvalidLpn;
+        const std::uint64_t sb = geom().superblock_of(cur);
+        PHFTL_CHECK(sb_meta_[sb].valid_count > 0);
+        --sb_meta_[sb].valid_count;
+        if (victim_index_.contains(sb))
+          victim_index_.update(sb, sb_meta_[sb].valid_count);
+        gtd_[tpn] = kInvalidPpn;
+      }
+      continue;
+    }
+    if (cur != kInvalidPpn && flash_.read_blob(cur) == truth) continue;
+    append_translation_page(tpn, truth, /*gc_migration=*/false);
+    ++rep.trans_reconciled;
+    trans_reconciled_ctr_->inc();
+  }
 }
 
 }  // namespace phftl

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/meta_cache.hpp"
 #include "flash/flash_array.hpp"
 #include "flash/geometry.hpp"
 #include "ftl/request.hpp"
@@ -73,6 +74,25 @@ struct FtlConfig {
   /// respect the per-write gc_step_pages bound (docs/QOS.md). 0 disables
   /// (default; bit-identical to pre-endurance behavior).
   std::uint64_t wear_level_threshold = 0;
+  /// Demand-paged flash-resident mapping tier (docs/MAPPING.md):
+  /// translation pages on flash, a RAM Global Translation Directory, and a
+  /// FlatMetaCache-backed cached mapping table with dirty-entry write-back
+  /// batching. false (default) = pure in-RAM L2P, bit-identical to the
+  /// pre-tier FTL (CI-enforced against BENCH_replay.json).
+  bool mapping_tier = false;
+  /// CMT capacity in resident translation pages (mapping_tier only).
+  std::uint64_t cmt_pages = 64;
+  /// L2P entries per translation page. 0 (default) derives the physical
+  /// maximum, page_size / 8 — one 8-byte PPN slot per element of the page's
+  /// data-area blob. Smaller values emulate the translation-page count of a
+  /// production-scale drive on the simulator's small geometries
+  /// (docs/MAPPING.md "RAM-budget methodology"); must not exceed the
+  /// physical maximum.
+  std::uint64_t tp_entries = 0;
+  /// Dirty write-back batching: evicted-dirty translation pages buffer in
+  /// RAM and flush to flash once this many are pending (and always at
+  /// drain()). 1 = write through on every dirty eviction.
+  std::uint64_t cmt_wb_batch = 8;
 };
 
 /// What a mount-time recover() call observed and rebuilt. Returned to the
@@ -87,6 +107,13 @@ struct RecoveryReport {
   std::uint64_t trim_records_replayed = 0;
   /// LPNs the replay tombstoned (resurrected stale copies unmapped again).
   std::uint64_t trim_tombstones = 0;
+  /// Mapping tier: GTD entries recovered from translation-page OOB stamps.
+  std::uint64_t trans_gtd_rebuilt = 0;
+  /// Mapping tier: translation pages rewritten by mount-time
+  /// reconciliation because their flash content diverged from the
+  /// OOB-rebuilt truth (dirty CMT entries lost to the cut, trim-journal
+  /// replay, or a cut mid-write-back). docs/MAPPING.md "Crash semantics".
+  std::uint64_t trans_reconciled = 0;
 };
 
 class FtlBase {
@@ -172,6 +199,34 @@ class FtlBase {
   /// Trimmed-and-not-rewritten LPNs the journal currently guarantees stay
   /// unmapped across an unclean shutdown.
   std::uint64_t live_tombstones() const { return live_tombstones_; }
+
+  // --- demand-paged mapping tier introspection (docs/MAPPING.md) ---
+  bool mapping_tier_enabled() const { return cfg_.mapping_tier; }
+  /// Translation pages covering the logical space (GTD size).
+  std::uint64_t num_translation_pages() const { return num_tps_; }
+  /// L2P entries per translation page (resolved from FtlConfig::tp_entries).
+  std::uint64_t tp_entries() const { return tp_entries_; }
+  /// Translation pages currently resident in the CMT.
+  std::uint64_t cmt_resident() const { return cmt_.size(); }
+  /// Evicted-dirty translation pages buffered for write-back.
+  std::uint64_t wb_pending() const { return wb_buffer_.size(); }
+  /// True if `sb` currently holds translation pages. Unlike journal
+  /// superblocks these ARE in the victim index: GC treats them as
+  /// first-class citizens, migrating valid translation pages with GTD
+  /// updates (docs/MAPPING.md "Translation GC").
+  bool is_translation_sb(std::uint64_t sb) const {
+    return is_translation_sb_[sb] != 0;
+  }
+  /// Mapping-tier RAM footprint in bytes: GTD + CMT entry slab + dirty
+  /// flags + write-back buffer capacity. The quantity BENCH_mapping.json
+  /// compares against the baseline logical_pages() * 8 in-RAM table
+  /// (docs/MAPPING.md "RAM-budget methodology"). 0 when the tier is off.
+  std::uint64_t mapping_ram_bytes() const;
+  /// Ground-truth mapping check: the tier serves `lpn` from translation-
+  /// page content and must agree with the always-maintained l2p_ shadow.
+  /// Mutates CMT state (demand fetch) like a host read, without the read
+  /// itself. Test hook for the differential suite.
+  Ppn tier_lookup(Lpn lpn);
 
   // --- endurance introspection (docs/ENDURANCE.md) ---
   /// The FTL's RAM wear table: erase count of `sb` as this FTL knows it.
@@ -304,6 +359,17 @@ class FtlBase {
   virtual std::uint32_t classify_wl_write(Lpn lpn, std::uint8_t gc_count,
                                           const OobData& oob) {
     return classify_gc_write(lpn, gc_count, oob);
+  }
+  /// Stream label for a translation-page program (docs/MAPPING.md).
+  /// Translation pages live in their own open superblocks — one per
+  /// returned stream id, never mixed with user data — but the label drives
+  /// per-stream accounting and lets schemes separate mapping metadata by
+  /// churn: `gc_migration` distinguishes a fresh dirty write-back (churns
+  /// with the host working set) from a GC-migrated survivor (cold enough
+  /// to outlive its block). Default: everything to stream 0.
+  virtual std::uint32_t classify_translation_write(std::uint64_t /*tpn*/,
+                                                   bool /*gc_migration*/) {
+    return 0;
   }
   /// Pick a victim among closed superblocks; kNoVictim aborts this GC round.
   virtual std::uint64_t pick_victim() = 0;
@@ -448,6 +514,49 @@ class FtlBase {
   /// P2L, L2P, and fixes the victim index if the superblock is closed.
   void raw_unmap(Lpn lpn);
 
+  // --- demand-paged mapping tier (docs/MAPPING.md) ---
+  /// Tier read path: serve `lpn` from translation-page content (demand-
+  /// fetching the owning page into the CMT) and cross-check against the
+  /// l2p_ shadow. `host_read` charges the fetch to the read-amplification
+  /// ledger.
+  Ppn map_lookup(Lpn lpn, bool host_read);
+  /// Tier write path: patch `lpn`'s slot in the owning translation page
+  /// (demand-fetched, marked dirty). `new_ppn == kInvalidPpn` records a
+  /// trim. Tolerates being called just before or after the l2p_ update.
+  void map_update(Lpn lpn, Ppn new_ppn);
+  /// Ensure `tpn` is CMT-resident and return its slab node: hit, adopt
+  /// from the write-back buffer, fetch the flash copy, or materialize a
+  /// never-written segment empty. `exempt_idx` names the one in-segment
+  /// slot allowed to disagree with l2p_ (the slot an in-flight update is
+  /// about to patch); every other fetched slot is integrity-checked.
+  std::uint32_t cmt_fetch(std::uint64_t tpn, std::uint64_t exempt_idx,
+                          bool host_read);
+  /// Program one translation page (GTD update + old-copy invalidation),
+  /// retrying across program failures like append_journal_page. Returns
+  /// the new flash copy's PPN.
+  Ppn append_translation_page(std::uint64_t tpn,
+                              std::vector<std::uint64_t> blob,
+                              bool gc_migration);
+  /// Flush every buffered evicted-dirty translation page to flash.
+  void flush_wb_buffer();
+  /// Batched flush trigger: flush when the buffer reaches cmt_wb_batch,
+  /// never re-entrantly and never inside a GC step (the step defers to the
+  /// next host-path safe point so the QoS budget excludes write-backs).
+  void maybe_flush_wb();
+  /// Remove `tpn` from the write-back buffer, moving its content into
+  /// `out`. Returns false (out untouched) if not buffered.
+  bool wb_take(std::uint64_t tpn, std::vector<std::uint64_t>& out);
+  /// True if the write-back buffer holds `tpn`.
+  bool wb_contains(std::uint64_t tpn) const;
+  /// Mount-time reconciliation (docs/MAPPING.md "Crash semantics"): after
+  /// the OOB rebuild + trim replay, rewrite any translation page whose
+  /// flash content diverged from the rebuilt truth, and drop GTD entries
+  /// of segments that became fully unmapped.
+  void reconcile_translation_pages(RecoveryReport& rep);
+  /// GC migration of one valid translation page out of `victim` at `ppn`
+  /// (resident CMT content wins; otherwise the flash copy is read).
+  void gc_migrate_translation_page(std::uint64_t victim, Ppn ppn);
+
   /// Register the FTL-layer metrics and cache their handles (cold path;
   /// run once from the constructor).
   void register_ftl_metrics();
@@ -532,6 +641,44 @@ class FtlBase {
   /// Superblocks flagged pending-retire (gauge source).
   std::uint64_t pending_retire_count_ = 0;
 
+  // --- demand-paged mapping tier state (docs/MAPPING.md) ---
+  /// Resolved entries per translation page (FtlConfig::tp_entries, or the
+  /// physical page_size / 8 maximum when 0). 0 while the tier is off.
+  std::uint64_t tp_entries_ = 0;
+  /// Translation pages covering the logical space: ceil(logical / entries).
+  std::uint64_t num_tps_ = 0;
+  /// Global Translation Directory: TPN -> newest flash copy, kInvalidPpn
+  /// when the segment has never been written back (then every LPN in it is
+  /// unmapped — an invariant trims and reconciliation preserve).
+  std::vector<Ppn> gtd_;
+  /// Cached Mapping Table residency: exact-LRU set of resident TPNs. The
+  /// slab node index keys the per-node entry arrays below.
+  core::FlatMetaCache cmt_;
+  /// cmt_pages x tp_entries_ PPN slots (node-major), the resident
+  /// translation-page contents.
+  std::vector<Ppn> cmt_entries_;
+  /// Per-node dirty flag: the resident content has updates the flash copy
+  /// lacks; eviction must buffer it for write-back.
+  std::vector<std::uint8_t> cmt_dirty_;
+  /// Evicted-dirty translation pages awaiting their batched write-back
+  /// (tpn, content). Lookups consult this before fetching from flash; the
+  /// GTD keeps pointing at the superseded flash copy until the flush.
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+      wb_buffer_;
+  /// Open translation superblock per stream label (parallel to open_, but
+  /// translation pages never share a superblock with user data).
+  std::vector<std::uint64_t> trans_open_;
+  /// Per-superblock flag: holds translation pages (victim-indexed, unlike
+  /// journal superblocks).
+  std::vector<std::uint8_t> is_translation_sb_;
+  /// Reentrancy guard: a flush in progress must not trigger another.
+  bool in_wb_flush_ = false;
+  /// The one write-back currently being programmed by flush_wb_buffer().
+  /// Its program can trigger GC, and any fetch of this segment during that
+  /// window must see this (newest) content, not the stale flash copy.
+  std::uint64_t wb_inflight_tpn_ = kInvalidLpn;
+  std::vector<std::uint64_t> wb_inflight_blob_;
+
   // --- observability (handles are stable; no allocation after setup) ---
   obs::Observability obs_;
   std::vector<obs::Counter*> stream_host_writes_;   ///< per-stream user pages
@@ -557,6 +704,14 @@ class FtlBase {
   obs::Counter* journal_compactions_ctr_ = nullptr;
   obs::Counter* journal_replayed_ctr_ = nullptr;
   obs::Counter* enospc_ctr_ = nullptr;
+  obs::Counter* host_reads_unmapped_ctr_ = nullptr;
+  obs::Counter* cmt_hits_ctr_ = nullptr;
+  obs::Counter* cmt_misses_ctr_ = nullptr;
+  obs::Counter* trans_reads_ctr_ = nullptr;
+  obs::Counter* trans_writes_ctr_ = nullptr;
+  obs::Counter* trans_gc_writes_ctr_ = nullptr;
+  obs::Counter* wb_flushes_ctr_ = nullptr;
+  obs::Counter* trans_reconciled_ctr_ = nullptr;
   obs::Counter* wl_rounds_ctr_ = nullptr;
   obs::Counter* wl_migrations_ctr_ = nullptr;
   obs::Counter* wear_retired_ctr_ = nullptr;
@@ -575,6 +730,10 @@ class FtlBase {
   obs::Gauge* gc_inflight_moved_gauge_ = nullptr;
   obs::Gauge* wear_spread_gauge_ = nullptr;
   obs::Gauge* wear_max_gauge_ = nullptr;
+  obs::Gauge* cmt_hit_rate_gauge_ = nullptr;
+  obs::Gauge* map_ram_gauge_ = nullptr;
+  obs::Gauge* read_amp_gauge_ = nullptr;
+  obs::Gauge* trans_wa_gauge_ = nullptr;
 };
 
 }  // namespace phftl

@@ -49,11 +49,38 @@ struct FtlStats {
   /// Superblocks retired at the P/E-cycle budget (end-of-life, distinct
   /// from blocks_retired's program-failure retirements).
   std::uint64_t wear_retired = 0;
+  /// Host reads of unmapped LPNs (never written, or trimmed). Served as
+  /// zero-fill without touching flash, but they are real host traffic and
+  /// the mapping tier's read-amplification ledger must see them.
+  std::uint64_t host_reads_unmapped = 0;
+  /// Translation pages programmed (docs/MAPPING.md): dirty CMT write-backs
+  /// + GC migrations of valid translation pages + mount-time reconciliation
+  /// rewrites. Part of flash_writes(), so WA charges the mapping tier —
+  /// no hidden writes.
+  std::uint64_t trans_writes = 0;
+  /// GC migrations of valid translation pages (a subset of trans_writes;
+  /// attribution only, never double-counted in flash_writes()).
+  std::uint64_t trans_gc_writes = 0;
+  /// Translation pages fetched from flash (CMT misses on a mapped segment
+  /// + GC reads of non-resident valid translation pages). The double-read
+  /// penalty: host read amplification = (host_reads + demand fetches on the
+  /// host path) / host_reads.
+  std::uint64_t trans_reads = 0;
+  /// Translation-page fetches charged to host reads (a subset of
+  /// trans_reads): the extra term in host read amplification,
+  /// (host_reads + trans_reads_host) / (host_reads + host_reads_unmapped).
+  std::uint64_t trans_reads_host = 0;
+  /// CMT lookups that hit a resident translation page.
+  std::uint64_t cmt_hits = 0;
+  /// CMT lookups that missed (segment fetched from flash or, for a
+  /// never-written segment, materialized empty).
+  std::uint64_t cmt_misses = 0;
 
   /// Total flash page programs (F): user + GC migrations + meta pages +
-  /// trim-journal record pages.
+  /// trim-journal record pages + translation pages.
   std::uint64_t flash_writes() const {
-    return user_writes + gc_writes + meta_writes + journal_writes;
+    return user_writes + gc_writes + meta_writes + journal_writes +
+           trans_writes;
   }
 
   /// Paper §V-B: WA = (F - U) / U, reported as a percentage in Fig. 5.

@@ -280,6 +280,27 @@ void append_chrome_event(std::string& out, const TraceEvent& e) {
              ", \"args\": {\"sb\": " + fmt_u64(e.a) +
              ", \"erase_count\": " + fmt_u64(e.b) + "}}";
       break;
+    case TraceEventType::kTransCacheHit:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"mapping\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidMeta) +
+             ", \"args\": {\"tpn\": " + fmt_u64(e.a) + "}}";
+      break;
+    case TraceEventType::kTransFetch:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"mapping\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidMeta) +
+             ", \"args\": {\"ppn\": " + fmt_u64(e.a) +
+             ", \"tpn\": " + fmt_u64(e.b) + "}}";
+      break;
+    case TraceEventType::kTransProgram:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"mapping\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidMeta) +
+             ", \"args\": {\"ppn\": " + fmt_u64(e.a) +
+             ", \"tpn\": " + fmt_u64(e.b) +
+             ", \"stream\": " + fmt_num(e.stream) + "}}";
+      break;
     case TraceEventType::kRecovery:
       // Complete event on the FTL lane; dur is the measured rebuild time.
       out += "{\"name\": \"" + std::string(name) +

@@ -42,6 +42,10 @@ enum class TraceEventType : std::uint8_t {
   kGcPreempt,           ///< a = victim sb, b = valid pages still in it
   kWearLevel,           ///< a = cold victim sb, b = pages migrated (round end)
   kWearRetired,         ///< a = sb retired at the P/E budget, b = erase count
+  kTransCacheHit,       ///< a = translation page number (CMT hit)
+  kTransFetch,          ///< a = fetched flash copy's ppn, b = tpn (CMT miss
+                        ///< charged a flash read — the double-read penalty)
+  kTransProgram,        ///< a = new flash copy's ppn, b = tpn, stream
 };
 
 inline const char* trace_event_name(TraceEventType t) {
@@ -66,6 +70,9 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kGcPreempt: return "gc_preempt";
     case TraceEventType::kWearLevel: return "wear_level";
     case TraceEventType::kWearRetired: return "wear_retired";
+    case TraceEventType::kTransCacheHit: return "trans_cache_hit";
+    case TraceEventType::kTransFetch: return "trans_fetch";
+    case TraceEventType::kTransProgram: return "trans_program";
   }
   return "?";
 }

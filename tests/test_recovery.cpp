@@ -341,6 +341,88 @@ TEST_P(RecoveryTest, RandomizedPowerCutsPreserveAcknowledgedData) {
   }
 }
 
+// Mapping-tier variant of the power-cut property (docs/MAPPING.md "Crash
+// semantics"): the same 50 random cut points now strike a drive whose L2P
+// truth lives on flash behind a deliberately tiny CMT with held-back dirty
+// write-backs — so cuts routinely land with dirty CMT entries lost, a
+// populated write-back buffer discarded, translation pages half-migrated
+// by a parked time-sliced GC round, and trims journaled but not yet
+// reflected in flash-resident translation pages. Mount-time GTD rebuild +
+// reconciliation must still serve every acknowledged page bit-for-bit.
+TEST_P(RecoveryTest, RandomizedPowerCutsPreserveDataWithMappingTier) {
+  FtlConfig cfg = small_config();
+  cfg.op_ratio = 0.20;  // room for the translation-superblock reserve
+  cfg.mapping_tier = true;
+  cfg.tp_entries = 64;  // 52 translation pages on the tiny drive
+  cfg.cmt_pages = 8;    // heavy eviction traffic
+  cfg.cmt_wb_batch = 16;
+  constexpr std::uint64_t kCuts = 50;
+  Xoshiro256 cut_rng(0x7EA0C0DE);
+  for (std::uint64_t c = 0; c < kCuts; ++c) {
+    const GcMode mode =
+        c % 2 == 1 ? GcMode::kTimeSliced : GcMode::kStopTheWorld;
+    auto ftl = make_crash_ftl(GetParam(), cfg, mode);
+    const std::uint64_t logical = ftl->logical_pages();
+    const std::uint64_t hot = std::max<std::uint64_t>(logical / 10, 1);
+    const std::uint64_t cut = 1 + cut_rng.next_below(logical * 2);
+
+    Xoshiro256 rng(4000 + c);
+    std::vector<std::uint8_t> acked(logical, 0);
+    std::vector<std::uint8_t> trimmed(logical, 0);
+    WriteContext ctx;
+    for (std::uint64_t w = 0; w < cut; ++w) {
+      if (rng.next_bool(0.05)) {
+        const Lpn t = rng.next_below(logical);
+        if (ftl->trim_page(t)) trimmed[t] = 1;
+        acked[t] = 0;
+      }
+      const Lpn lpn =
+          rng.next_bool(0.5) ? rng.next_below(hot) : rng.next_below(logical);
+      ftl->write_page(lpn, ctx);
+      acked[lpn] = 1;
+      trimmed[lpn] = 0;
+    }
+
+    const RecoveryReport rep = ftl->recover();
+    ASSERT_EQ(ftl->gc_inflight_victim(), FtlBase::kNoVictim);
+    ASSERT_EQ(ftl->wb_pending(), 0u);
+    // verify_acked reads through the demand-paged path, which cross-checks
+    // every lookup against the rebuilt shadow and aborts on divergence.
+    ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked))
+        << GetParam() << " cut " << cut;
+    for (Lpn lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_FALSE(trimmed[lpn] && ftl->is_mapped(lpn))
+          << "trimmed lpn " << lpn << " resurrected, cut " << cut;
+      ASSERT_EQ(ftl->tier_lookup(lpn), ftl->lookup(lpn))
+          << GetParam() << " cut " << cut << " lpn " << lpn;
+    }
+    ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl))
+        << GetParam() << " cut " << cut;
+    // Any cut deep enough to have flushed a translation page must rebuild
+    // GTD entries from OOB stamps (early cuts may legitimately find none).
+    if (ftl->stats().trans_writes > 0 || cut > logical) {
+      EXPECT_GT(rep.trans_gtd_rebuilt, 0u) << GetParam() << " cut " << cut;
+    }
+    EXPECT_LE(ftl->trim_journal_superblocks(), 1u);
+
+    // The remounted drive keeps serving demand-paged traffic.
+    for (int w = 0; w < 400; ++w) {
+      if (rng.next_bool(0.05)) {
+        const Lpn t = rng.next_below(logical);
+        if (ftl->trim_page(t)) trimmed[t] = 1;
+        acked[t] = 0;
+      }
+      const Lpn lpn = rng.next_below(logical);
+      ftl->write_page(lpn, ctx);
+      acked[lpn] = 1;
+      trimmed[lpn] = 0;
+      ASSERT_EQ(ftl->read_page(lpn), lpn ^ 0x5bd1e995ULL);
+    }
+    ASSERT_NO_FATAL_FAILURE(verify_acked(*ftl, acked));
+    ASSERT_NO_FATAL_FAILURE(check_invariants(*ftl));
+  }
+}
+
 // --- fault-injection degradation (docs/RECOVERY.md "Fault model") ---
 
 /// Fault tests run with extra over-provisioning so permanently retired
