@@ -1,6 +1,7 @@
 // Mapping-tier RAM/performance trade-off: sweep the cached-mapping-table
-// (CMT) size for each scheme and report RAM footprint vs read and write
-// amplification (docs/MAPPING.md §"RAM-budget methodology").
+// (CMT) size for each scheme, with the learned index off and on, and report
+// RAM footprint vs read and write amplification (docs/MAPPING.md
+// §"RAM-budget methodology" and §"Learned index").
 //
 // Every cell runs the identical workload: prefill 80 % of the logical
 // space sequentially, then a skewed overwrite/read mix (60 % writes, 90 %
@@ -10,10 +11,28 @@
 // Tier-on cells pay the DFTL double-read penalty — CMT misses on the host
 // read path fetch a translation page from flash — and dirty write-back
 // batches plus translation-page GC add flash writes that WA charges
-// honestly (trans_writes is inside flash_writes()).
+// honestly (trans_writes is inside flash_writes()). Learned-on cells route
+// CMT misses through the piecewise-linear model first: a verified probe
+// replaces the translation-page fetch, and wasted probes are charged into
+// the read-amp numerator, so the column compares honestly.
 //
-// Usage: bench_mapping [--jobs N] [--ops-per-page X] [--smoke] [--out <path>]
-// Writes BENCH_mapping.json (schema "phftl-bench-mapping/1" — see
+// The first 10 % of the mix (--warmup, documented in EXPERIMENTS.md) is
+// treated as cache/model warmup: read-amp, CMT hit rate, and mispredict
+// rate are computed from post-warmup deltas so cold-start misses do not
+// pollute the steady-state columns. WA stays whole-run (prefill included),
+// matching every other bench artifact.
+//
+// A second sweep ("tb_sweep" in the artifact) shrinks tp_entries on a
+// 4 GiB drive to emulate multi-TB GTD geometry: halving tp_entries doubles
+// the translation-page count exactly as a bigger drive would, so
+// emulated_capacity_bytes = num_tps x (page_size / 8) x page_size is the
+// capacity a full-entry GTD of that size would map. The columns show GTD
+// RAM growing linearly with num_tps while the learned model stays nearly
+// flat — the sub-linear scaling claim in docs/MAPPING.md.
+//
+// Usage: bench_mapping [--jobs N] [--ops-per-page X] [--warmup F]
+//                      [--smoke] [--out <path>]
+// Writes BENCH_mapping.json (schema "phftl-bench-mapping/2" — see
 // EXPERIMENTS.md). --smoke shrinks the drive and the op count for a
 // seconds-scale CI run.
 #include <cstdio>
@@ -33,7 +52,7 @@ namespace {
 
 using namespace phftl;
 
-FtlConfig mapping_config(bool smoke, std::uint64_t cmt_pages) {
+FtlConfig mapping_config(bool smoke, std::uint64_t cmt_pages, bool learned) {
   FtlConfig cfg;  // 8 dies x 128 blocks x 32 pages x 4 KB = 128 MiB
   cfg.geom.num_dies = 8;
   cfg.geom.blocks_per_die = smoke ? 32 : 128;
@@ -48,40 +67,60 @@ FtlConfig mapping_config(bool smoke, std::uint64_t cmt_pages) {
     // Batch at most 8 dirty evictions; smaller CMTs batch less so the
     // write-back buffer never dwarfs the table it backs.
     cfg.cmt_wb_batch = std::min<std::uint64_t>(cmt_pages, 8);
+    cfg.learned_index = learned;
   }
+  return cfg;
+}
+
+// Multi-TB emulation geometry: a 4 GiB drive (512 MiB under --smoke) whose
+// tp_entries knob is swept down so the translation-page population matches
+// drives orders of magnitude larger.
+FtlConfig tb_config(bool smoke, std::uint64_t tp_entries, bool learned) {
+  FtlConfig cfg;  // 8 dies x 512 blocks x 64 pages x 16 KB = 4 GiB
+  cfg.geom.num_dies = 8;
+  cfg.geom.blocks_per_die = smoke ? 64 : 512;
+  cfg.geom.pages_per_block = 64;
+  cfg.geom.page_size = 16 * 1024;
+  cfg.geom.oob_size = 128;
+  cfg.op_ratio = 0.40;
+  cfg.gc_free_threshold = 0.05;
+  cfg.mapping_tier = true;
+  cfg.cmt_pages = 64;
+  cfg.cmt_wb_batch = 8;
+  cfg.tp_entries = tp_entries;
+  cfg.learned_index = learned;
   return cfg;
 }
 
 struct CellResult {
   std::string scheme;
   std::uint64_t cmt_pages = 0;  ///< 0 = mapping tier off (flat L2P)
+  bool learned = false;
   std::uint64_t host_pages = 0;
   std::uint64_t host_reads = 0;
-  double wa = 0.0;
-  double read_amp = 1.0;
-  double cmt_hit_rate = 0.0;
+  double wa = 0.0;            ///< whole-run, prefill included
+  double read_amp = 1.0;      ///< post-warmup delta
+  double cmt_hit_rate = 0.0;  ///< post-warmup delta
   std::uint64_t trans_writes = 0;
   std::uint64_t trans_gc_writes = 0;
   std::uint64_t trans_reads = 0;
-  std::uint64_t ram_bytes = 0;       ///< GTD + CMT + write-back buffer
+  std::uint64_t learned_hits = 0;        ///< post-warmup delta
+  std::uint64_t learned_mispredicts = 0; ///< post-warmup delta
+  double mispredict_rate = 0.0;          ///< post-warmup delta
+  std::uint64_t learned_segments = 0;
+  std::uint64_t learned_ram_bytes = 0;
+  std::uint64_t ram_bytes = 0;       ///< GTD + CMT + WB buffer + model
   std::uint64_t flat_ram_bytes = 0;  ///< 8 B per logical page baseline
   std::uint64_t num_tps = 0;
   std::uint64_t tp_entries = 0;
+  std::uint64_t emulated_capacity_bytes = 0;  ///< tb_sweep rows only
 };
 
-CellResult run_cell(const std::string& scheme, std::uint64_t cmt_pages,
-                    bool smoke, double ops_per_page) {
-  const FtlConfig cfg = mapping_config(smoke, cmt_pages);
-  bench::RunOptions opts;
-  opts.time_predictions = false;
-  opts.record_artifact = false;
-  auto ftl = bench::make_scheme(scheme, cfg, opts);
-
-  CellResult r;
-  r.scheme = scheme;
-  r.cmt_pages = cmt_pages;
-
-  const std::uint64_t logical = ftl->logical_pages();
+// Drives the shared prefill + skewed-mix workload against `ftl`, snapshots
+// stats at the warmup boundary, and fills the delta-based columns.
+void run_workload(FtlBase& ftl, double ops_per_page, double warmup_fraction,
+                  CellResult& r) {
+  const std::uint64_t logical = ftl.logical_pages();
   const std::uint64_t fill = logical * 8 / 10;
   const std::uint64_t hot = std::max<std::uint64_t>(fill * 15 / 100, 1);
   std::uint64_t ts_us = 0;
@@ -91,47 +130,136 @@ CellResult run_cell(const std::string& scheme, std::uint64_t cmt_pages,
     ts_us += 40;
     req.op = OpType::kWrite;
     req.start_lpn = lpn;
-    const SubmitResult res = ftl->submit_checked(req);
+    const SubmitResult res = ftl.submit_checked(req);
     if (res.status == WriteResult::kOk) ++r.host_pages;
   };
 
   for (Lpn lpn = 0; lpn < fill; ++lpn) write_one(lpn);
 
-  // Same seed per cell: every scheme x CMT size sees the identical offered
-  // stream, so the artifact isolates the tier's cost.
+  // Same seed per cell: every scheme x CMT size x learned setting sees the
+  // identical offered stream, so the artifact isolates the tier's cost.
   Xoshiro256 rng(20260809);
   const auto ops = static_cast<std::uint64_t>(
       static_cast<double>(logical) * ops_per_page);
+  const auto warm_ops = static_cast<std::uint64_t>(
+      static_cast<double>(ops) * warmup_fraction);
+  FtlStats warm = ftl.stats();
   for (std::uint64_t op = 0; op < ops; ++op) {
+    if (op == warm_ops) warm = ftl.stats();
     if (rng.next_bool(0.6)) {
       write_one(rng.next_bool(0.9) ? rng.next_below(hot)
                                    : rng.next_below(fill));
     } else {
-      (void)ftl->read_page(rng.next_below(fill));
+      (void)ftl.read_page(rng.next_below(fill));
     }
   }
-  ftl->drain();
+  ftl.drain();
 
-  const FtlStats& s = ftl->stats();
+  const FtlStats& s = ftl.stats();
   r.host_reads = s.host_reads;
   r.wa = s.write_amplification();
-  const std::uint64_t host_total = s.host_reads + s.host_reads_unmapped;
+  const std::uint64_t host_total = (s.host_reads - warm.host_reads) +
+                                   (s.host_reads_unmapped -
+                                    warm.host_reads_unmapped);
+  const std::uint64_t extra_reads =
+      (s.trans_reads_host - warm.trans_reads_host) +
+      (s.learned_probe_reads_host - warm.learned_probe_reads_host);
   r.read_amp = host_total == 0
                    ? 1.0
-                   : static_cast<double>(host_total + s.trans_reads_host) /
+                   : static_cast<double>(host_total + extra_reads) /
                          static_cast<double>(host_total);
-  const std::uint64_t lookups = s.cmt_hits + s.cmt_misses;
-  r.cmt_hit_rate = lookups == 0 ? 0.0
-                                : static_cast<double>(s.cmt_hits) /
-                                      static_cast<double>(lookups);
+  const std::uint64_t lookups = (s.cmt_hits - warm.cmt_hits) +
+                                (s.cmt_misses - warm.cmt_misses);
+  r.cmt_hit_rate = lookups == 0
+                       ? 0.0
+                       : static_cast<double>(s.cmt_hits - warm.cmt_hits) /
+                             static_cast<double>(lookups);
   r.trans_writes = s.trans_writes;
   r.trans_gc_writes = s.trans_gc_writes;
   r.trans_reads = s.trans_reads;
+  r.learned_hits = s.learned_hits - warm.learned_hits;
+  r.learned_mispredicts = s.learned_mispredicts - warm.learned_mispredicts;
+  const std::uint64_t consulted = r.learned_hits + r.learned_mispredicts;
+  r.mispredict_rate =
+      consulted == 0 ? 0.0
+                     : static_cast<double>(r.learned_mispredicts) /
+                           static_cast<double>(consulted);
+  r.learned_segments = ftl.learned_segments();
+  r.learned_ram_bytes = ftl.learned_index_bytes();
   r.flat_ram_bytes = logical * 8;
-  r.ram_bytes = cmt_pages == 0 ? r.flat_ram_bytes : ftl->mapping_ram_bytes();
-  r.num_tps = ftl->num_translation_pages();
-  r.tp_entries = ftl->tp_entries();
+  r.ram_bytes = ftl.mapping_tier_enabled() ? ftl.mapping_ram_bytes()
+                                           : r.flat_ram_bytes;
+  r.num_tps = ftl.num_translation_pages();
+  r.tp_entries = ftl.tp_entries();
+}
+
+CellResult run_cell(const std::string& scheme, std::uint64_t cmt_pages,
+                    bool learned, bool smoke, double ops_per_page,
+                    double warmup_fraction) {
+  const FtlConfig cfg = mapping_config(smoke, cmt_pages, learned);
+  bench::RunOptions opts;
+  opts.time_predictions = false;
+  opts.record_artifact = false;
+  auto ftl = bench::make_scheme(scheme, cfg, opts);
+
+  CellResult r;
+  r.scheme = scheme;
+  r.cmt_pages = cmt_pages;
+  r.learned = learned;
+  run_workload(*ftl, ops_per_page, warmup_fraction, r);
   return r;
+}
+
+CellResult run_tb_cell(std::uint64_t tp_entries, bool learned, bool smoke,
+                       double ops_per_page, double warmup_fraction) {
+  const FtlConfig cfg = tb_config(smoke, tp_entries, learned);
+  bench::RunOptions opts;
+  opts.time_predictions = false;
+  opts.record_artifact = false;
+  auto ftl = bench::make_scheme("Base", cfg, opts);
+
+  CellResult r;
+  r.scheme = "Base";
+  r.cmt_pages = cfg.cmt_pages;
+  r.learned = learned;
+  run_workload(*ftl, ops_per_page, warmup_fraction, r);
+  // Capacity a full-entry GTD with this many translation pages would map.
+  const std::uint64_t full_entries = cfg.geom.page_size / 8;
+  r.emulated_capacity_bytes = r.num_tps * full_entries * cfg.geom.page_size;
+  return r;
+}
+
+void emit_cell_json(std::ostringstream& js, const CellResult& c, bool tb_row,
+                    bool last) {
+  char wa_buf[64], ra_buf[64], hit_buf[64], mis_buf[64];
+  std::snprintf(wa_buf, sizeof(wa_buf), "%.4f", c.wa);
+  std::snprintf(ra_buf, sizeof(ra_buf), "%.4f", c.read_amp);
+  std::snprintf(hit_buf, sizeof(hit_buf), "%.4f", c.cmt_hit_rate);
+  std::snprintf(mis_buf, sizeof(mis_buf), "%.6f", c.mispredict_rate);
+  js << "    {\"scheme\": \"" << c.scheme
+     << "\", \"cmt_pages\": " << c.cmt_pages
+     << ", \"learned\": " << (c.learned ? "true" : "false")
+     << ", \"ram_bytes\": " << c.ram_bytes
+     << ", \"flat_ram_bytes\": " << c.flat_ram_bytes
+     << ", \"num_translation_pages\": " << c.num_tps
+     << ", \"tp_entries\": " << c.tp_entries;
+  if (tb_row) {
+    js << ", \"gtd_bytes\": " << c.num_tps * 8
+       << ", \"emulated_capacity_bytes\": " << c.emulated_capacity_bytes;
+  }
+  js << ", \"host_pages\": " << c.host_pages
+     << ", \"host_reads\": " << c.host_reads << ", \"wa\": " << wa_buf
+     << ", \"read_amplification\": " << ra_buf
+     << ", \"cmt_hit_rate\": " << hit_buf
+     << ", \"trans_writes\": " << c.trans_writes
+     << ", \"trans_gc_writes\": " << c.trans_gc_writes
+     << ", \"trans_reads\": " << c.trans_reads
+     << ", \"learned_hits\": " << c.learned_hits
+     << ", \"learned_mispredicts\": " << c.learned_mispredicts
+     << ", \"mispredict_rate\": " << mis_buf
+     << ", \"learned_segments\": " << c.learned_segments
+     << ", \"learned_ram_bytes\": " << c.learned_ram_bytes << "}"
+     << (last ? "\n" : ",\n");
 }
 
 }  // namespace
@@ -140,6 +268,7 @@ int main(int argc, char** argv) {
   long cli_jobs = 4;
   bool smoke = false;
   double ops_per_page = 2.0;
+  double warmup_fraction = 0.10;
   std::string out_path = "BENCH_mapping.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,6 +276,8 @@ int main(int argc, char** argv) {
       cli_jobs = std::strtol(argv[++i], nullptr, 10);
     } else if (arg == "--ops-per-page" && i + 1 < argc) {
       ops_per_page = std::atof(argv[++i]);
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      warmup_fraction = std::atof(argv[++i]);
     } else if (arg == "--smoke") {
       smoke = true;
       ops_per_page = 0.5;
@@ -154,76 +285,109 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--ops-per-page X] [--smoke] "
-                   "[--out <path>]\n",
+                   "usage: %s [--jobs N] [--ops-per-page X] [--warmup F] "
+                   "[--smoke] [--out <path>]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (warmup_fraction < 0.0 || warmup_fraction >= 1.0) {
+    std::fprintf(stderr, "--warmup must be in [0, 1)\n");
+    return 2;
   }
   const unsigned jobs = cli_jobs <= 0 ? 4 : static_cast<unsigned>(cli_jobs);
   const unsigned hw = std::thread::hardware_concurrency();
 
   const std::vector<std::string> schemes = {"Base", "2R", "SepBIT", "PHFTL"};
   const std::vector<std::uint64_t> cmt_sizes = {0, 2, 4, 8, 16};
+  const std::vector<std::uint64_t> tb_tp_entries = {2048, 256, 32, 2};
   std::printf("Mapping-tier sweep: %zu schemes x %zu CMT sizes "
-              "(0 = flat L2P), %u jobs, %u hardware threads\n\n",
-              schemes.size(), cmt_sizes.size(), jobs, hw);
+              "(0 = flat L2P) x learned off/on, %zu-point multi-TB "
+              "tp_entries sweep, %u jobs, %u hardware threads\n\n",
+              schemes.size(), cmt_sizes.size(), tb_tp_entries.size(), jobs,
+              hw);
 
   phftl::util::ThreadPool pool(jobs);
   std::vector<std::future<CellResult>> futures;
   for (const auto& scheme : schemes)
     for (const std::uint64_t cmt : cmt_sizes)
-      futures.push_back(pool.submit([scheme, cmt, smoke, ops_per_page] {
-        return run_cell(scheme, cmt, smoke, ops_per_page);
-      }));
+      for (const bool learned : {false, true}) {
+        if (cmt == 0 && learned) continue;  // model needs the tier
+        futures.push_back(
+            pool.submit([scheme, cmt, learned, smoke, ops_per_page,
+                         warmup_fraction] {
+              return run_cell(scheme, cmt, learned, smoke, ops_per_page,
+                              warmup_fraction);
+            }));
+      }
+  std::vector<std::future<CellResult>> tb_futures;
+  for (const std::uint64_t tp : tb_tp_entries)
+    for (const bool learned : {false, true})
+      tb_futures.push_back(
+          pool.submit([tp, learned, smoke, ops_per_page, warmup_fraction] {
+            return run_tb_cell(tp, learned, smoke, ops_per_page,
+                               warmup_fraction);
+          }));
   std::vector<CellResult> cells;
   for (auto& f : futures) cells.push_back(f.get());
+  std::vector<CellResult> tb_cells;
+  for (auto& f : tb_futures) tb_cells.push_back(f.get());
 
   phftl::TextTable t;
-  t.header({"scheme", "CMT pages", "mapping RAM", "vs flat", "WA",
-            "read amp", "CMT hit rate", "trans writes", "trans reads"});
+  t.header({"scheme", "CMT pages", "learned", "mapping RAM", "vs flat", "WA",
+            "read amp", "CMT hit rate", "mispredict", "model RAM"});
   for (const CellResult& c : cells) {
     const double reduction =
         c.ram_bytes == 0 ? 0.0
                          : static_cast<double>(c.flat_ram_bytes) /
                                static_cast<double>(c.ram_bytes);
     t.row({c.scheme, c.cmt_pages == 0 ? "off" : std::to_string(c.cmt_pages),
+           c.cmt_pages == 0 ? "-" : (c.learned ? "on" : "off"),
            std::to_string(c.ram_bytes) + " B",
            phftl::TextTable::num(reduction, 1) + "x",
            phftl::TextTable::num(c.wa, 4),
            phftl::TextTable::num(c.read_amp, 3),
            phftl::TextTable::num(c.cmt_hit_rate * 100.0, 1) + "%",
-           std::to_string(c.trans_writes), std::to_string(c.trans_reads)});
+           c.learned ? phftl::TextTable::num(c.mispredict_rate * 100.0, 2) +
+                           "%"
+                     : "-",
+           c.learned ? std::to_string(c.learned_ram_bytes) + " B" : "-"});
   }
   t.render(std::cout);
 
+  std::printf("\nMulti-TB GTD emulation (scheme Base, cmt_pages 64; "
+              "emulated capacity = num_tps x full-entry TP span):\n");
+  phftl::TextTable tb;
+  tb.header({"tp_entries", "learned", "emulated cap", "num TPs", "GTD RAM",
+             "model RAM", "segments", "read amp", "mispredict"});
+  for (const CellResult& c : tb_cells) {
+    const double gib =
+        static_cast<double>(c.emulated_capacity_bytes) / (1ull << 30);
+    tb.row({std::to_string(c.tp_entries), c.learned ? "on" : "off",
+            phftl::TextTable::num(gib, 1) + " GiB",
+            std::to_string(c.num_tps), std::to_string(c.num_tps * 8) + " B",
+            c.learned ? std::to_string(c.learned_ram_bytes) + " B" : "-",
+            c.learned ? std::to_string(c.learned_segments) : "-",
+            phftl::TextTable::num(c.read_amp, 3),
+            c.learned ? phftl::TextTable::num(c.mispredict_rate * 100.0, 2) +
+                            "%"
+                      : "-"});
+  }
+  tb.render(std::cout);
+
   std::ostringstream js;
-  js << "{\n  \"schema\": \"phftl-bench-mapping/1\",\n"
+  js << "{\n  \"schema\": \"phftl-bench-mapping/2\",\n"
      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
      << "  \"ops_per_page\": " << ops_per_page << ",\n"
+     << "  \"warmup_fraction\": " << warmup_fraction << ",\n"
      << "  \"hardware_threads\": " << hw << ",\n"
      << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const CellResult& c = cells[i];
-    char wa_buf[64], ra_buf[64], hit_buf[64];
-    std::snprintf(wa_buf, sizeof(wa_buf), "%.4f", c.wa);
-    std::snprintf(ra_buf, sizeof(ra_buf), "%.4f", c.read_amp);
-    std::snprintf(hit_buf, sizeof(hit_buf), "%.4f", c.cmt_hit_rate);
-    js << "    {\"scheme\": \"" << c.scheme
-       << "\", \"cmt_pages\": " << c.cmt_pages
-       << ", \"ram_bytes\": " << c.ram_bytes
-       << ", \"flat_ram_bytes\": " << c.flat_ram_bytes
-       << ", \"num_translation_pages\": " << c.num_tps
-       << ", \"tp_entries\": " << c.tp_entries
-       << ", \"host_pages\": " << c.host_pages
-       << ", \"host_reads\": " << c.host_reads << ", \"wa\": " << wa_buf
-       << ", \"read_amplification\": " << ra_buf
-       << ", \"cmt_hit_rate\": " << hit_buf
-       << ", \"trans_writes\": " << c.trans_writes
-       << ", \"trans_gc_writes\": " << c.trans_gc_writes
-       << ", \"trans_reads\": " << c.trans_reads << "}"
-       << (i + 1 < cells.size() ? ",\n" : "\n");
-  }
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    emit_cell_json(js, cells[i], /*tb_row=*/false, i + 1 == cells.size());
+  js << "  ],\n  \"tb_sweep\": [\n";
+  for (std::size_t i = 0; i < tb_cells.size(); ++i)
+    emit_cell_json(js, tb_cells[i], /*tb_row=*/true,
+                   i + 1 == tb_cells.size());
   js << "  ]\n}\n";
   if (!phftl::obs::write_text_file(out_path, js.str())) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());

@@ -14,6 +14,7 @@
 //                [--staleness <S>]
 //                [--gc-mode stop_the_world|time_sliced] [--gc-step-pages <N>]
 //                [--mapping-tier] [--cmt-pages <N>] [--tp-entries <N>]
+//                [--learned-index] [--learned-error <N>]
 //
 // Examples:
 //   trace_replay --scheme PHFTL --trace "#144" --drive-writes 4
@@ -44,6 +45,10 @@
 //     (demand-paged flash-resident L2P: translation pages on flash behind a
 //     16-page cached mapping table — docs/MAPPING.md; the report grows a
 //     mapping panel with RAM footprint and read amplification)
+//   trace_replay --scheme Base --mapping-tier --cmt-pages 4 --learned-index
+//     (piecewise-linear learned index over the flash-resident tier: a CMT
+//     miss becomes at most one OOB-verified probe instead of a translation
+//     page read — docs/MAPPING.md "Learned index")
 //
 // Writes are submitted through submit_checked(): if the drive's capacity
 // watermark rejects part of a request (ENOSPC, docs/RECOVERY.md "Capacity
@@ -95,6 +100,7 @@ void usage() {
                "<threshold>]\n"
                "                    [--mapping-tier] [--cmt-pages <N>] "
                "[--tp-entries <N>]\n"
+               "                    [--learned-index] [--learned-error <N>]\n"
                "  (--scheme all replays every scheme; file outputs require a "
                "single scheme)\n");
   std::exit(2);
@@ -295,7 +301,8 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
     const double read_amp =
         host_total == 0
             ? 1.0
-            : static_cast<double>(host_total + s.trans_reads_host) /
+            : static_cast<double>(host_total + s.trans_reads_host +
+                                  s.learned_probe_reads_host) /
                   static_cast<double>(host_total);
     const std::uint64_t cmt_lookups = s.cmt_hits + s.cmt_misses;
     const double hit_rate =
@@ -312,7 +319,8 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
         "already pays them)\n"
         "  translation reads     %llu (%llu on the host read path)\n"
         "  CMT                   %llu resident, %.2f%% hit rate\n"
-        "  read amplification    %.3f ((host + demand fetches) / host)\n"
+        "  read amplification    %.3f ((host + demand fetches + wasted "
+        "probes) / host)\n"
         "  mapping RAM           %llu B vs %llu B flat (%.1fx smaller)\n",
         static_cast<unsigned long long>(ftl->num_translation_pages()),
         static_cast<unsigned long long>(ftl->tp_entries()),
@@ -328,6 +336,28 @@ ReplayOutcome run_replay(const std::string& scheme, const Trace& trace,
                         : static_cast<double>(flat_bytes) /
                               static_cast<double>(tier_bytes));
     out << buf;
+    if (ftl->config().learned_index) {
+      const std::uint64_t consulted = s.learned_hits + s.learned_mispredicts;
+      std::snprintf(
+          buf, sizeof(buf),
+          "  learned index         %llu segments, %llu B "
+          "(error bound %u)\n"
+          "  learned hits          %llu (%.2f%% of CMT-miss lookups served "
+          "probe-verified)\n"
+          "  learned mispredicts   %llu (%llu wasted probe reads, %llu on "
+          "the host path)\n",
+          static_cast<unsigned long long>(ftl->learned_segments()),
+          static_cast<unsigned long long>(ftl->learned_index_bytes()),
+          ftl->config().learned_error_bound,
+          static_cast<unsigned long long>(s.learned_hits),
+          consulted == 0 ? 0.0
+                         : 100.0 * static_cast<double>(s.learned_hits) /
+                               static_cast<double>(consulted),
+          static_cast<unsigned long long>(s.learned_mispredicts),
+          static_cast<unsigned long long>(s.learned_probe_reads),
+          static_cast<unsigned long long>(s.learned_probe_reads_host));
+      out << buf;
+    }
   }
 
   if (auto* phftl = dynamic_cast<core::PhftlFtl*>(ftl.get())) {
@@ -389,6 +419,8 @@ int main(int argc, char** argv) {
   bool mapping_tier = false;
   std::uint64_t cmt_pages = 0;   // 0: keep the FtlConfig default
   std::uint64_t tp_entries = 0;  // 0: physical maximum (page_size / 8)
+  bool learned_index = false;
+  std::uint64_t learned_error = 0;  // 0: keep the FtlConfig default
   ReplayOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -456,6 +488,11 @@ int main(int argc, char** argv) {
       if (cmt_pages == 0) usage();
     } else if (arg == "--tp-entries") {
       tp_entries = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--learned-index") {
+      learned_index = true;
+    } else if (arg == "--learned-error") {
+      learned_error = std::strtoull(next(), nullptr, 10);
+      if (learned_error == 0) usage();
     } else usage();
   }
 
@@ -484,6 +521,9 @@ int main(int argc, char** argv) {
   cfg.mapping_tier = mapping_tier;
   if (cmt_pages > 0) cfg.cmt_pages = cmt_pages;
   if (tp_entries > 0) cfg.tp_entries = tp_entries;
+  cfg.learned_index = learned_index;
+  if (learned_error > 0)
+    cfg.learned_error_bound = static_cast<std::uint32_t>(learned_error);
 
   if (!export_path.empty()) {
     if (!write_trace_csv_file(trace, export_path)) {

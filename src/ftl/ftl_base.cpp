@@ -86,7 +86,12 @@ FtlBase::FtlBase(const FtlConfig& cfg, std::uint32_t num_streams)
     cmt_entries_.assign(cmt_cap * tp_entries_, kInvalidPpn);
     cmt_dirty_.assign(cmt_cap, 0);
     trans_open_.assign(num_streams_, OpenStream::kNoSb);
+    if (cfg_.learned_index) {
+      learned_.reset(logical_pages_, tp_entries_, cfg_.learned_error_bound);
+    }
   }
+  PHFTL_CHECK_MSG(!cfg_.learned_index || cfg_.mapping_tier,
+                  "learned_index requires mapping_tier");
   register_ftl_metrics();
 }
 
@@ -206,6 +211,18 @@ void FtlBase::register_ftl_metrics() {
                  "translation pages rewritten at mount because their flash "
                  "copy trailed the OOB-rebuilt truth (dirty CMT state lost "
                  "to the cut, or trims replayed past them)");
+  learned_hits_ctr_ =
+      &m.counter("ftl.map.learned_hits", "lookups",
+                 "CMT misses served by an OOB-verified learned-index "
+                 "prediction instead of a translation-page fetch");
+  learned_mispredicts_ctr_ =
+      &m.counter("ftl.map.learned_mispredicts", "lookups",
+                 "learned predictions whose probe window failed OOB "
+                 "verification (fell back to the GTD/CMT path)");
+  learned_probe_reads_ctr_ =
+      &m.counter("ftl.map.learned_probe_reads", "pages",
+                 "wasted learned-probe page reads (failed OOB verifications; "
+                 "a hit's successful probe is the data read itself)");
   recovery_mounts_ctr_ = &m.counter("recovery.mounts", "mounts",
                                     "recover() calls (unclean-shutdown "
                                     "mounts serviced)");
@@ -288,12 +305,20 @@ void FtlBase::register_ftl_metrics() {
                             "docs/MAPPING.md methodology)");
   read_amp_gauge_ =
       &m.gauge("ftl.map.read_amplification", "ratio",
-               "(host flash reads + host-path translation fetches) / host "
-               "reads including unmapped zero-fills — the demand-paging "
-               "double-read penalty");
+               "(host flash reads + host-path translation fetches + wasted "
+               "learned probes) / host reads including unmapped zero-fills "
+               "— the demand-paging double-read penalty");
   trans_wa_gauge_ = &m.gauge("ftl.map.translation_wa", "ratio",
                              "translation pages programmed per user page "
                              "written (the tier's own WA contribution)");
+  learned_segments_gauge_ =
+      &m.gauge("ftl.map.learned_segments", "segments",
+               "piecewise-linear segments the learned index currently "
+               "holds (tracks sequential runs, not translation pages)");
+  learned_bytes_gauge_ =
+      &m.gauge("ftl.map.learned_index_bytes", "bytes",
+               "learned-index model RAM (charged into ftl.map.ram_bytes; "
+               "docs/MAPPING.md methodology)");
 }
 
 void FtlBase::refresh_observability() {
@@ -323,13 +348,16 @@ void FtlBase::refresh_observability() {
         host_reads_total == 0
             ? 0.0
             : static_cast<double>(stats_.host_reads +
-                                  stats_.trans_reads_host) /
+                                  stats_.trans_reads_host +
+                                  stats_.learned_probe_reads_host) /
                   static_cast<double>(host_reads_total));
     trans_wa_gauge_->set(
         stats_.user_writes == 0
             ? 0.0
             : static_cast<double>(stats_.trans_writes) /
                   static_cast<double>(stats_.user_writes));
+    learned_segments_gauge_->set(static_cast<double>(learned_segments()));
+    learned_bytes_gauge_->set(static_cast<double>(learned_index_bytes()));
   }
 }
 
@@ -978,6 +1006,9 @@ std::uint64_t FtlBase::rebuild_mapping_from_flash() {
     wb_buffer_.clear();
     wb_inflight_tpn_ = kInvalidLpn;
     wb_inflight_blob_.clear();
+    // The learned model died with RAM too; reconciliation retrains every
+    // still-mapped translation page from the rebuilt truth.
+    if (cfg_.learned_index) learned_.clear();
     trans_best_seq.assign(num_tps_, 0);
   }
 
@@ -1565,7 +1596,8 @@ std::uint64_t FtlBase::mapping_ram_bytes() const {
          + cap * 16 + slots * 4                       // FlatMetaCache index
          + cap                                        // dirty flags
          + std::max<std::uint64_t>(cfg_.cmt_wb_batch, 1) *
-               (tp_entries_ * sizeof(Ppn) + 8);       // write-back buffer
+               (tp_entries_ * sizeof(Ppn) + 8)        // write-back buffer
+         + learned_index_bytes();                     // learned segments
 }
 
 Ppn FtlBase::tier_lookup(Lpn lpn) {
@@ -1603,6 +1635,16 @@ Ppn FtlBase::map_lookup(Lpn lpn, bool host_read) {
     PHFTL_CHECK(l2p_[lpn] == kInvalidPpn);
     return kInvalidPpn;
   }
+  // Learned fast path: only when the owning TP's flash blob is the truth —
+  // non-resident, unbuffered, not mid-flush, GTD-valid (the tier invariant
+  // in docs/MAPPING.md). A verified prediction serves the lookup with zero
+  // CMT traffic; kInvalidPpn means uncovered or mispredicted — fall back.
+  if (cfg_.learned_index && gtd_[tpn] != kInvalidPpn &&
+      cmt_.node_of(tpn) == core::FlatMetaCache::kNoNode &&
+      tpn != wb_inflight_tpn_ && !wb_contains(tpn)) {
+    const Ppn predicted = learned_lookup(lpn, host_read);
+    if (predicted != kInvalidPpn) return predicted;
+  }
   const std::uint32_t node = cmt_fetch(tpn, /*exempt_idx=*/~0ULL, host_read);
   const Ppn ppn = cmt_entries_[node * tp_entries_ + idx];
   PHFTL_CHECK_MSG(ppn == l2p_[lpn],
@@ -1611,9 +1653,67 @@ Ppn FtlBase::map_lookup(Lpn lpn, bool host_read) {
   return ppn;
 }
 
+Ppn FtlBase::learned_lookup(Lpn lpn, bool host_read) {
+  std::int64_t pred = 0;
+  std::uint32_t radius = 0;
+  if (!learned_.predict(lpn, &pred, &radius)) return kInvalidPpn;
+  const std::int64_t total =
+      static_cast<std::int64_t>(geom().total_pages());
+  std::uint64_t wasted = 0;
+  Ppn found = kInvalidPpn;
+  // Probe outward from the prediction: 0, +1, -1, ... ±radius. Each probe
+  // is one flash page read (data + OOB); it verifies iff the page is a
+  // valid user copy of exactly this LPN — translation/meta/journal pages
+  // carry lpn = kInvalidLpn in their OOB and can never false-match, and a
+  // stale user copy fails the validity bitmap. The probe that verifies IS
+  // the data read; every earlier probe is wasted and charged below.
+  const auto probe = [&](std::int64_t cand) {
+    if (cand < 0 || cand >= total) return false;
+    const Ppn p = static_cast<Ppn>(cand);
+    // Unprogrammed pages need no read: an append-only controller knows
+    // each block's write frontier.
+    if (!flash_.is_programmed(p)) return false;
+    if (valid_bit_[p] && flash_.read_oob(p).lpn == lpn) {
+      found = p;
+      return true;
+    }
+    ++wasted;
+    return false;
+  };
+  if (!probe(pred)) {
+    for (std::int64_t d = 1; d <= static_cast<std::int64_t>(radius); ++d) {
+      if (probe(pred + d) || probe(pred - d)) break;
+    }
+  }
+  stats_.learned_probe_reads += wasted;
+  if (host_read) stats_.learned_probe_reads_host += wasted;
+  if (wasted != 0) learned_probe_reads_ctr_->add(wasted);
+  if (found != kInvalidPpn) {
+    // valid_bit_ + OOB match imply p2l_[found] == lpn, so this check can
+    // only fire if the validity state itself diverged from the shadow.
+    PHFTL_CHECK_MSG(found == l2p_[lpn],
+                    "verified learned probe diverged from the L2P shadow");
+    ++stats_.learned_hits;
+    learned_hits_ctr_->inc();
+    obs_.trace().record(obs::TraceEventType::kLearnedHit, virtual_clock_,
+                        found, lpn);
+    return found;
+  }
+  ++stats_.learned_mispredicts;
+  learned_mispredicts_ctr_->inc();
+  obs_.trace().record(obs::TraceEventType::kLearnedMispredict, virtual_clock_,
+                      static_cast<std::uint64_t>(pred < 0 ? 0 : pred), lpn);
+  return kInvalidPpn;
+}
+
 void FtlBase::map_update(Lpn lpn, Ppn new_ppn) {
   const std::uint64_t tpn = lpn / tp_entries_;
   const std::uint64_t idx = lpn % tp_entries_;
+  // Any mapping change — host write, trim, or a data-GC patch riding this
+  // same batched CMT path — makes the trained prediction for this LPN
+  // stale. Punch it out of the model now; the slot is re-covered when the
+  // dirty TP's write-back retrains the range from its new content.
+  if (cfg_.learned_index) learned_.invalidate(lpn);
   // l2p_[lpn] already holds new_ppn; the fetch's integrity check must skip
   // exactly this slot (its flash copy legitimately predates the update).
   const std::uint32_t node = cmt_fetch(tpn, idx, /*host_read=*/false);
@@ -1811,6 +1911,11 @@ Ppn FtlBase::append_translation_page(std::uint64_t tpn,
         victim_index_.update(old_sb, sb_meta_[old_sb].valid_count);
     }
     gtd_[tpn] = ppn;
+    // Every translation-page append funnels through here — write-back
+    // flush, GC migration, mount-time reconciliation — so retraining at
+    // this single point keeps the learned model exactly in sync with the
+    // flash blob the GTD now points at.
+    if (cfg_.learned_index) learned_.train(tpn, blob);
     ++stats_.trans_writes;
     trans_writes_ctr_->inc();
     if (gc_migration) {
@@ -1905,7 +2010,14 @@ void FtlBase::reconcile_translation_pages(RecoveryReport& rep) {
       }
       continue;
     }
-    if (cur != kInvalidPpn && flash_.read_blob(cur) == truth) continue;
+    if (cur != kInvalidPpn && flash_.read_blob(cur) == truth) {
+      // Flash copy already agrees with the rebuilt truth — no rewrite, but
+      // the learned model (wiped with the rest of the RAM state) still
+      // needs its segments back. Training from `truth` costs zero extra
+      // flash reads: the blob equality check above already paid the read.
+      if (cfg_.learned_index) learned_.train(tpn, truth);
+      continue;
+    }
     append_translation_page(tpn, truth, /*gc_migration=*/false);
     ++rep.trans_reconciled;
     trans_reconciled_ctr_->inc();

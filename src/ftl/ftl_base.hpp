@@ -26,6 +26,7 @@
 #include "core/meta_cache.hpp"
 #include "flash/flash_array.hpp"
 #include "flash/geometry.hpp"
+#include "ftl/learned_index.hpp"
 #include "ftl/request.hpp"
 #include "ftl/stats.hpp"
 #include "ftl/victim_index.hpp"
@@ -93,6 +94,23 @@ struct FtlConfig {
   /// RAM and flush to flash once this many are pending (and always at
   /// drain()). 1 = write through on every dirty eviction.
   std::uint64_t cmt_wb_batch = 8;
+  /// Learned index over the mapping tier (docs/MAPPING.md "Learned
+  /// index"): piecewise-linear LPN->PPN segments trained at translation-
+  /// page write-back serve CMT misses with one OOB-verified probe instead
+  /// of a translation-page fetch — the DFTL double read becomes a single
+  /// flash read when the prediction verifies. Requires mapping_tier.
+  /// false (default) = model never consulted, lookup path bit-identical to
+  /// the plain tier (CI-enforced).
+  bool learned_index = false;
+  /// PLR fit tolerance: a trained segment's predictions are within
+  /// ±learned_error_bound of the true PPN, and the verify probe scans at
+  /// most that far around the prediction (the stored per-segment radius,
+  /// usually 0, bounds it tighter). Widening the bound shrinks the model
+  /// (fewer, longer segments) but every extra unit of radius costs wasted
+  /// verify probes on the host read path — on stream-interleaved layouts
+  /// (PHFTL) a wide bound can cost more reads than the translation fetch
+  /// it avoids, so the default stays tight. Max 250.
+  std::uint32_t learned_error_bound = 1;
 };
 
 /// What a mount-time recover() call observed and rebuilt. Returned to the
@@ -227,6 +245,17 @@ class FtlBase {
   /// Mutates CMT state (demand fetch) like a host read, without the read
   /// itself. Test hook for the differential suite.
   Ppn tier_lookup(Lpn lpn);
+  /// Learned-index segments currently held (0 when the knob is off).
+  std::uint64_t learned_segments() const {
+    return cfg_.learned_index ? learned_.segment_count() : 0;
+  }
+  /// Learned-index model RAM, as charged into mapping_ram_bytes().
+  std::uint64_t learned_index_bytes() const {
+    return cfg_.learned_index ? learned_.ram_bytes() : 0;
+  }
+  /// Direct model access for tests (fault injection via
+  /// corrupt_segment_for_test, segment inspection). Not a data path.
+  LearnedIndex& learned_index_for_test() { return learned_; }
 
   // --- endurance introspection (docs/ENDURANCE.md) ---
   /// The FTL's RAM wear table: erase count of `sb` as this FTL knows it.
@@ -556,6 +585,16 @@ class FtlBase {
   /// GC migration of one valid translation page out of `victim` at `ppn`
   /// (resident CMT content wins; otherwise the flash copy is read).
   void gc_migrate_translation_page(std::uint64_t victim, Ppn ppn);
+  /// Learned-index fast path (docs/MAPPING.md "Learned index"): predict
+  /// `lpn`'s PPN and probe outward from it (±radius), verifying each
+  /// candidate's OOB LPN against the validity bitmap. A verified probe IS
+  /// the data read — returns its PPN with no CMT traffic; any mismatch
+  /// returns kInvalidPpn (counted as a mispredict) and the caller falls
+  /// back to the GTD/CMT path. Only called when the owning translation
+  /// page is non-resident, unbuffered, not mid-flush, and GTD-valid — the
+  /// window where the flash blob (what the model was trained on) is the
+  /// mapping truth.
+  Ppn learned_lookup(Lpn lpn, bool host_read);
 
   /// Register the FTL-layer metrics and cache their handles (cold path;
   /// run once from the constructor).
@@ -678,6 +717,10 @@ class FtlBase {
   /// window must see this (newest) content, not the stale flash copy.
   std::uint64_t wb_inflight_tpn_ = kInvalidLpn;
   std::vector<std::uint64_t> wb_inflight_blob_;
+  /// Learned index over the tier (cfg_.learned_index): trained at every
+  /// translation-page append, hole-punched on every map_update, cleared
+  /// and retrained from truth at mount (docs/MAPPING.md "Learned index").
+  LearnedIndex learned_;
 
   // --- observability (handles are stable; no allocation after setup) ---
   obs::Observability obs_;
@@ -712,6 +755,9 @@ class FtlBase {
   obs::Counter* trans_gc_writes_ctr_ = nullptr;
   obs::Counter* wb_flushes_ctr_ = nullptr;
   obs::Counter* trans_reconciled_ctr_ = nullptr;
+  obs::Counter* learned_hits_ctr_ = nullptr;
+  obs::Counter* learned_mispredicts_ctr_ = nullptr;
+  obs::Counter* learned_probe_reads_ctr_ = nullptr;
   obs::Counter* wl_rounds_ctr_ = nullptr;
   obs::Counter* wl_migrations_ctr_ = nullptr;
   obs::Counter* wear_retired_ctr_ = nullptr;
@@ -734,6 +780,8 @@ class FtlBase {
   obs::Gauge* map_ram_gauge_ = nullptr;
   obs::Gauge* read_amp_gauge_ = nullptr;
   obs::Gauge* trans_wa_gauge_ = nullptr;
+  obs::Gauge* learned_segments_gauge_ = nullptr;
+  obs::Gauge* learned_bytes_gauge_ = nullptr;
 };
 
 }  // namespace phftl

@@ -67,14 +67,33 @@ struct FtlStats {
   /// host path) / host_reads.
   std::uint64_t trans_reads = 0;
   /// Translation-page fetches charged to host reads (a subset of
-  /// trans_reads): the extra term in host read amplification,
-  /// (host_reads + trans_reads_host) / (host_reads + host_reads_unmapped).
+  /// trans_reads): an extra term in host read amplification,
+  /// (host_reads + trans_reads_host + learned_probe_reads_host) /
+  /// (host_reads + host_reads_unmapped).
   std::uint64_t trans_reads_host = 0;
   /// CMT lookups that hit a resident translation page.
   std::uint64_t cmt_hits = 0;
   /// CMT lookups that missed (segment fetched from flash or, for a
   /// never-written segment, materialized empty).
   std::uint64_t cmt_misses = 0;
+  /// CMT misses served by a verified learned-index prediction instead of a
+  /// translation-page fetch (docs/MAPPING.md "Learned index"). The
+  /// successful OOB-verify probe doubles as the data read, so a hit adds
+  /// zero flash reads beyond any wasted probes below.
+  std::uint64_t learned_hits = 0;
+  /// Learned predictions whose probe window contained no page whose OOB
+  /// LPN verified — the lookup fell back to the GTD/CMT path. With the
+  /// invalidate-on-update contract these only arise from injected
+  /// staleness; the counter is the tripwire for that contract.
+  std::uint64_t learned_mispredicts = 0;
+  /// Wasted learned-probe page reads: every probed page that failed OOB
+  /// verification (a hit's final, successful probe is the data read itself
+  /// and is not counted here).
+  std::uint64_t learned_probe_reads = 0;
+  /// Wasted learned probes on the host path (a subset of
+  /// learned_probe_reads): charged into host read amplification alongside
+  /// trans_reads_host.
+  std::uint64_t learned_probe_reads_host = 0;
 
   /// Total flash page programs (F): user + GC migrations + meta pages +
   /// trim-journal record pages + translation pages.

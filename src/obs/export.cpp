@@ -301,6 +301,20 @@ void append_chrome_event(std::string& out, const TraceEvent& e) {
              ", \"tpn\": " + fmt_u64(e.b) +
              ", \"stream\": " + fmt_num(e.stream) + "}}";
       break;
+    case TraceEventType::kLearnedHit:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"mapping\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidMeta) +
+             ", \"args\": {\"ppn\": " + fmt_u64(e.a) +
+             ", \"lpn\": " + fmt_u64(e.b) + "}}";
+      break;
+    case TraceEventType::kLearnedMispredict:
+      out += "{\"name\": \"" + std::string(name) +
+             "\", \"cat\": \"mapping\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+             fmt_u64(e.ts) + ", \"pid\": 0, \"tid\": " + fmt_num(kTidMeta) +
+             ", \"args\": {\"predicted_ppn\": " + fmt_u64(e.a) +
+             ", \"lpn\": " + fmt_u64(e.b) + "}}";
+      break;
     case TraceEventType::kRecovery:
       // Complete event on the FTL lane; dur is the measured rebuild time.
       out += "{\"name\": \"" + std::string(name) +

@@ -46,6 +46,10 @@ enum class TraceEventType : std::uint8_t {
   kTransFetch,          ///< a = fetched flash copy's ppn, b = tpn (CMT miss
                         ///< charged a flash read — the double-read penalty)
   kTransProgram,        ///< a = new flash copy's ppn, b = tpn, stream
+  kLearnedHit,          ///< a = verified ppn, b = lpn (CMT miss served by
+                        ///< the learned index — no translation fetch)
+  kLearnedMispredict,   ///< a = predicted ppn, b = lpn (probe window failed
+                        ///< OOB verification; fell back to the CMT path)
 };
 
 inline const char* trace_event_name(TraceEventType t) {
@@ -73,6 +77,8 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kTransCacheHit: return "trans_cache_hit";
     case TraceEventType::kTransFetch: return "trans_fetch";
     case TraceEventType::kTransProgram: return "trans_program";
+    case TraceEventType::kLearnedHit: return "learned_hit";
+    case TraceEventType::kLearnedMispredict: return "learned_mispredict";
   }
   return "?";
 }

@@ -297,5 +297,210 @@ TEST(MappingTier, DrainedRemountServesIdenticalMappings) {
     ASSERT_EQ(ftl->tier_lookup(lpn), ftl->lookup(lpn)) << "lpn " << lpn;
 }
 
+// --- learned index over the tier (docs/MAPPING.md "Learned index") ---
+
+/// Learned-on twin of tier_config(): every CMT miss first consults the
+/// PLR model and verifies the prediction against the probed page's OOB.
+FtlConfig learned_config() {
+  FtlConfig cfg = tier_config();
+  cfg.learned_index = true;
+  cfg.learned_error_bound = 8;
+  return cfg;
+}
+
+// Direct model unit tests: exact fits, boundary merging, cap, holes.
+
+TEST(LearnedIndexUnit, SequentialRunsFitOneSegmentAcrossTpBoundaries) {
+  LearnedIndex li;
+  li.reset(/*logical=*/1024, /*tp_entries=*/64, /*error_bound=*/0);
+  // Two adjacent translation pages holding one slope-1 run, trained in
+  // write-back order: the second train must extend the first's segment.
+  std::vector<std::uint64_t> blob(64);
+  for (std::uint64_t i = 0; i < 64; ++i) blob[i] = 500 + i;
+  li.train(0, blob);
+  EXPECT_EQ(li.segment_count(), 1u);
+  for (std::uint64_t i = 0; i < 64; ++i) blob[i] = 564 + i;
+  li.train(1, blob);
+  EXPECT_EQ(li.segment_count(), 1u);
+  std::int64_t pred = 0;
+  std::uint32_t radius = 0;
+  for (Lpn lpn = 0; lpn < 128; ++lpn) {
+    ASSERT_TRUE(li.predict(lpn, &pred, &radius)) << "lpn " << lpn;
+    EXPECT_EQ(pred, static_cast<std::int64_t>(500 + lpn));
+    EXPECT_EQ(radius, 0u);
+  }
+  EXPECT_FALSE(li.predict(128, &pred, &radius));
+}
+
+TEST(LearnedIndexUnit, InvalidateSplitsWithoutMovingPredictions) {
+  LearnedIndex li;
+  li.reset(1024, 64, 0);
+  std::vector<std::uint64_t> blob(64);
+  for (std::uint64_t i = 0; i < 64; ++i) blob[i] = 100 + i;
+  li.train(0, blob);
+  li.invalidate(10);  // interior hole: split into [0,10) and [11,64)
+  EXPECT_EQ(li.segment_count(), 2u);
+  std::int64_t pred = 0;
+  std::uint32_t radius = 0;
+  EXPECT_FALSE(li.predict(10, &pred, &radius));
+  ASSERT_TRUE(li.predict(9, &pred, &radius));
+  EXPECT_EQ(pred, 109);
+  ASSERT_TRUE(li.predict(11, &pred, &radius));
+  EXPECT_EQ(pred, 111);  // the frozen line survives the split
+  li.invalidate(0);      // edge holes shrink, never split
+  li.invalidate(63);
+  EXPECT_EQ(li.segment_count(), 2u);
+  EXPECT_FALSE(li.predict(0, &pred, &radius));
+  EXPECT_FALSE(li.predict(63, &pred, &radius));
+}
+
+TEST(LearnedIndexUnit, ScrambledPageIsCappedAndInBound) {
+  LearnedIndex li;
+  const std::uint32_t bound = 4;
+  li.reset(4096, 256, bound);
+  // Pseudo-scrambled PPNs: no learnable run, so the fit must cap its
+  // segment count and every covered prediction must honor the bound.
+  std::vector<std::uint64_t> blob(256);
+  for (std::uint64_t i = 0; i < 256; ++i) blob[i] = (i * 2654435761u) % 4096;
+  li.train(0, blob);
+  EXPECT_LE(li.segment_count(), LearnedIndex::kMaxSegmentsPerTrain);
+  std::int64_t pred = 0;
+  std::uint32_t radius = 0;
+  for (Lpn lpn = 0; lpn < 256; ++lpn) {
+    if (!li.predict(lpn, &pred, &radius)) continue;
+    EXPECT_LE(radius, bound);
+    const std::int64_t err = pred - static_cast<std::int64_t>(blob[lpn]);
+    EXPECT_LE(err < 0 ? -err : err, static_cast<std::int64_t>(radius))
+        << "lpn " << lpn;
+  }
+}
+
+// Learned-on 1M-op differential vs the flat oracle across all four
+// schemes: byte-identical reads, identical host-visible state, real
+// learned traffic, and — because every mapping update invalidates its
+// prediction before the next write-back retrains it — zero mispredicts.
+// (Every learned hit also PHFTL_CHECKs against the l2p_ shadow, so a
+// wrong served PPN aborts the test outright.)
+class LearnedSchemeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LearnedSchemeTest, MillionOpDifferentialAgainstFlatL2p) {
+  const FtlConfig on_cfg = learned_config();
+  FtlConfig off_cfg = on_cfg;
+  off_cfg.mapping_tier = false;
+  off_cfg.learned_index = false;
+  auto learned = make_ftl(GetParam(), on_cfg);
+  auto flat = make_ftl(GetParam(), off_cfg);
+  ASSERT_NE(learned, nullptr);
+  const std::uint64_t logical = learned->logical_pages();
+  const std::uint64_t hot = std::max<std::uint64_t>(logical / 16, 1);
+
+  Xoshiro256 rng(0x1EA2D1FF + GetParam().size());
+  WriteContext ctx;
+  constexpr std::uint64_t kOps = 1'000'000;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const std::uint64_t dice = rng.next_below(100);
+    const Lpn lpn = rng.next_bool(0.5) ? rng.next_below(hot)
+                                       : rng.next_below(logical);
+    if (dice < 55) {
+      learned->write_page(lpn, ctx);
+      flat->write_page(lpn, ctx);
+    } else if (dice < 90) {
+      ASSERT_EQ(learned->read_page(lpn), flat->read_page(lpn))
+          << GetParam() << " op " << i << " lpn " << lpn;
+    } else {
+      ASSERT_EQ(learned->trim_page(lpn), flat->trim_page(lpn))
+          << GetParam() << " op " << i << " lpn " << lpn;
+    }
+  }
+  learned->drain();
+  flat->drain();
+  for (Lpn lpn = 0; lpn < logical; ++lpn) {
+    ASSERT_EQ(learned->is_mapped(lpn), flat->is_mapped(lpn)) << "lpn " << lpn;
+    ASSERT_EQ(learned->read_page(lpn), flat->read_page(lpn)) << "lpn " << lpn;
+  }
+
+  const FtlStats& s = learned->stats();
+  EXPECT_EQ(s.user_writes, flat->stats().user_writes) << GetParam();
+  EXPECT_GT(s.learned_hits, 0u) << GetParam();
+  EXPECT_EQ(s.learned_mispredicts, 0u)
+      << GetParam() << ": a consulted segment diverged from flash truth";
+  EXPECT_GT(learned->learned_segments(), 0u);
+  // The model is charged into the RAM methodology.
+  EXPECT_GE(learned->mapping_ram_bytes(), learned->learned_index_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, LearnedSchemeTest,
+                         ::testing::Values("Base", "2R", "SepBIT", "PHFTL"));
+
+// Regression (satellite): a stale segment must never serve a wrong PPN —
+// the OOB verify probe has to reject it, fall back to the CMT path, and
+// count a mispredict. Staleness is injected directly (the data path keeps
+// models fresh by construction: map_update invalidates, write-back
+// retrains — including when data-GC patches owning TPs).
+TEST(LearnedIndexTest, StaleSegmentNeverServesWrongPpn) {
+  auto ftl = make_ftl("Base", learned_config());
+  const std::uint64_t tp = ftl->tp_entries();
+  WriteContext ctx;
+  // A sequential region over translation pages 0..15, flushed and trained.
+  for (Lpn lpn = 0; lpn < tp * 16; ++lpn) ftl->write_page(lpn, ctx);
+  ftl->drain();
+  ASSERT_GT(ftl->learned_segments(), 0u);
+
+  // Evict translation page 0 (writes to 25 distinct other TPs churn the
+  // 8-entry CMT), then flush so its blob is flash truth again.
+  for (std::uint64_t k = 0; k < 25; ++k)
+    ftl->write_page((16 + k) * tp, ctx);
+  ftl->drain();
+
+  const Lpn victim_lpn = 5;
+  ASSERT_TRUE(ftl->learned_index_for_test().corrupt_segment_for_test(
+      victim_lpn, /*delta=*/3));
+  const FtlStats& s = ftl->stats();
+  const std::uint64_t mis_before = s.learned_mispredicts;
+  const std::uint64_t probes_before = s.learned_probe_reads;
+  // The corrupted prediction points at a live page of a DIFFERENT lpn:
+  // the probe must reject it on the OOB check and the fallback must still
+  // serve the right data (the internal PHFTL_CHECK against the shadow
+  // oracle would abort on any wrong answer).
+  EXPECT_EQ(ftl->read_page(victim_lpn), victim_lpn ^ 0x5bd1e995ULL);
+  EXPECT_EQ(s.learned_mispredicts, mis_before + 1)
+      << "the stale segment was not consulted or not caught";
+  EXPECT_GT(s.learned_probe_reads, probes_before);
+
+  // Rewriting the LPN invalidates the corrupt cover; after the next
+  // eviction + flush the retrained segment serves verified hits again.
+  ftl->write_page(victim_lpn, ctx);
+  for (std::uint64_t k = 0; k < 25; ++k)
+    ftl->write_page((16 + k) * tp, ctx);
+  ftl->drain();
+  const std::uint64_t hits_before = s.learned_hits;
+  EXPECT_EQ(ftl->read_page(victim_lpn), victim_lpn ^ 0x5bd1e995ULL);
+  EXPECT_EQ(s.learned_hits, hits_before + 1);
+  EXPECT_EQ(s.learned_mispredicts, mis_before + 1) << "no new mispredicts";
+}
+
+// GC-churn property (satellite): data GC constantly patches owning TPs
+// through the batched CMT path; each patch must invalidate its prediction
+// (stale serves would abort on the shadow check, and any consulted-but-
+// stale model would surface as a mispredict).
+TEST(LearnedIndexTest, GcPatchedSegmentsNeverGoStale) {
+  auto ftl = make_ftl("Base", learned_config());
+  const std::uint64_t logical = ftl->logical_pages();
+  Xoshiro256 rng(0x6C6C);
+  WriteContext ctx;
+  for (std::uint64_t w = 0; w < logical * 8; ++w) {
+    ftl->write_page(rng.next_below(logical), ctx);
+    if (w % 7 == 0) ftl->read_page(rng.next_below(logical));
+  }
+  ftl->drain();
+  ASSERT_GT(ftl->stats().gc_invocations, 0u);
+  ASSERT_GT(ftl->stats().gc_writes, 0u);
+  for (Lpn lpn = 0; lpn < logical; ++lpn)
+    ASSERT_EQ(ftl->tier_lookup(lpn), ftl->lookup(lpn)) << "lpn " << lpn;
+  EXPECT_GT(ftl->stats().learned_hits, 0u);
+  EXPECT_EQ(ftl->stats().learned_mispredicts, 0u)
+      << "a GC patch left a consulted segment stale";
+}
+
 }  // namespace
 }  // namespace phftl::test

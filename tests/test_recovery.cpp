@@ -361,6 +361,11 @@ TEST_P(RecoveryTest, RandomizedPowerCutsPreserveDataWithMappingTier) {
   for (std::uint64_t c = 0; c < kCuts; ++c) {
     const GcMode mode =
         c % 2 == 1 ? GcMode::kTimeSliced : GcMode::kStopTheWorld;
+    // Alternate the learned index on/off across cuts (period 2 vs the GC
+    // mode's period so both pair with both): on, the model dies with RAM
+    // at the cut and mount-time reconciliation must retrain its segments
+    // from the rebuilt truth (docs/MAPPING.md "Learned index").
+    cfg.learned_index = (c / 2) % 2 == 0;
     auto ftl = make_crash_ftl(GetParam(), cfg, mode);
     const std::uint64_t logical = ftl->logical_pages();
     const std::uint64_t hot = std::max<std::uint64_t>(logical / 10, 1);
@@ -402,6 +407,12 @@ TEST_P(RecoveryTest, RandomizedPowerCutsPreserveDataWithMappingTier) {
     // GTD entries from OOB stamps (early cuts may legitimately find none).
     if (ftl->stats().trans_writes > 0 || cut > logical) {
       EXPECT_GT(rep.trans_gtd_rebuilt, 0u) << GetParam() << " cut " << cut;
+      // Learned-on: reconciliation retrained the model from the rebuilt
+      // truth, so the mount comes back with live segments (and the
+      // tier_lookup sweep above already verified them against the shadow).
+      if (cfg.learned_index) {
+        EXPECT_GT(ftl->learned_segments(), 0u) << GetParam() << " cut " << cut;
+      }
     }
     EXPECT_LE(ftl->trim_journal_superblocks(), 1u);
 

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Derive a GC victim-quality time-series from a chrome://tracing export.
+
+Feed it the file written by ``trace_replay --trace-out trace.json`` (or any
+consumer of ``obs::trace_to_chrome_json``). It pairs ``gc_round`` B/E
+events, folds in ``gc_step``/``gc_preempt`` instants, and prints one CSV
+row per completed GC round:
+
+    begin_ts,end_ts,duration,victim_sb,valid_pages,moved_pages,quality,steps,preempts
+
+Timestamps are the FTL virtual clock (host pages written — the paper's
+lifetime clock), so ``duration`` is how many host pages landed while the
+round was in flight (0 under stop-the-world GC, > 0 under time-sliced GC).
+``quality`` is the victim's garbage fraction at selection time,
+``1 - valid_pages / pages_per_sb``; higher is a better victim. Pass
+``--pages-per-sb`` when you know the geometry, otherwise the script uses
+the largest ``valid_pages``/``moved_pages`` it saw as a lower-bound proxy
+and says so on stderr.
+
+``--buckets N`` appends a second table that averages victim quality over N
+equal slices of the virtual clock — the Fig. 5-style drift view: falling
+average quality means GC is being forced onto ever-fuller victims
+(write-amp pressure rising), which is exactly the regression the ROADMAP
+asked to make diagnosable.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import contextlib
+import json
+import signal
+import sys
+
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)  # be quiet under `| head`
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: no traceEvents array")
+    return events
+
+
+def pair_rounds(events):
+    """Match gc_round B/E events into per-round records, oldest first.
+
+    The recorder is a ring buffer, so the file can open with an orphan E
+    (its B was overwritten) or close with an unfinished B — both are
+    dropped, with a note on stderr.
+    """
+    rounds = []
+    open_stack = []  # stop-the-world and time-sliced GC both run one
+    orphan_ends = 0  # round at a time, but be defensive and stack
+    for e in events:
+        if e.get("name") == "gc_round" and e.get("ph") == "B":
+            open_stack.append(
+                {
+                    "begin_ts": e.get("ts", 0),
+                    "victim_sb": e.get("args", {}).get("victim_sb", -1),
+                    "valid_pages": e.get("args", {}).get("valid_pages", 0),
+                    "steps": 0,
+                    "preempts": 0,
+                }
+            )
+        elif e.get("name") == "gc_round" and e.get("ph") == "E":
+            if not open_stack:
+                orphan_ends += 1
+                continue
+            r = open_stack.pop()
+            r["end_ts"] = e.get("ts", 0)
+            r["moved_pages"] = e.get("args", {}).get("moved_pages", 0)
+            rounds.append(r)
+        elif e.get("name") == "gc_step" and open_stack:
+            open_stack[-1]["steps"] += 1
+        elif e.get("name") == "gc_preempt" and open_stack:
+            open_stack[-1]["preempts"] += 1
+    if orphan_ends:
+        print(
+            f"note: dropped {orphan_ends} gc_round end(s) whose begin was "
+            "overwritten by the trace ring buffer",
+            file=sys.stderr,
+        )
+    if open_stack:
+        print(
+            f"note: dropped {len(open_stack)} unfinished gc_round(s) still "
+            "open at the end of the trace",
+            file=sys.stderr,
+        )
+    return rounds
+
+
+def infer_pages_per_sb(rounds):
+    guess = 0
+    for r in rounds:
+        guess = max(guess, r["valid_pages"], r.get("moved_pages", 0))
+    return guess
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="GC victim-quality time-series from a chrome trace"
+    )
+    ap.add_argument("trace", help="chrome://tracing JSON from --trace-out")
+    ap.add_argument(
+        "--pages-per-sb",
+        type=int,
+        default=0,
+        help="superblock capacity in pages (pages_per_block x num_dies); "
+        "0 = infer a lower bound from the trace",
+    )
+    ap.add_argument(
+        "--buckets",
+        type=int,
+        default=0,
+        help="append an N-bucket average-quality drift table",
+    )
+    ap.add_argument(
+        "--out", default="", help="write CSV here instead of stdout"
+    )
+    args = ap.parse_args()
+
+    rounds = pair_rounds(load_events(args.trace))
+    if not rounds:
+        print("no completed gc_round events in trace", file=sys.stderr)
+        return 1
+
+    ppsb = args.pages_per_sb
+    if ppsb <= 0:
+        ppsb = infer_pages_per_sb(rounds)
+        print(
+            f"note: --pages-per-sb not given; using observed maximum "
+            f"{ppsb} as a lower bound (quality is then an upper bound)",
+            file=sys.stderr,
+        )
+    if ppsb <= 0:
+        ppsb = 1  # degenerate trace: every victim was empty
+
+    lines = [
+        "begin_ts,end_ts,duration,victim_sb,valid_pages,moved_pages,"
+        "quality,steps,preempts"
+    ]
+    for r in rounds:
+        quality = 1.0 - min(r["valid_pages"], ppsb) / ppsb
+        lines.append(
+            f"{r['begin_ts']},{r['end_ts']},"
+            f"{r['end_ts'] - r['begin_ts']},{r['victim_sb']},"
+            f"{r['valid_pages']},{r['moved_pages']},{quality:.4f},"
+            f"{r['steps']},{r['preempts']}"
+        )
+    csv = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(csv)
+    else:
+        sys.stdout.write(csv)
+
+    qualities = [1.0 - min(r["valid_pages"], ppsb) / ppsb for r in rounds]
+    moved = sum(r.get("moved_pages", 0) for r in rounds)
+    print(
+        f"# {len(rounds)} rounds, {moved} pages relocated, "
+        f"victim quality min/avg/max = "
+        f"{min(qualities):.4f}/{sum(qualities) / len(qualities):.4f}/"
+        f"{max(qualities):.4f}",
+        file=sys.stderr,
+    )
+
+    if args.buckets > 0:
+        lo = min(r["begin_ts"] for r in rounds)
+        hi = max(r["begin_ts"] for r in rounds)
+        span = max(hi - lo, 1)
+        sums = [0.0] * args.buckets
+        counts = [0] * args.buckets
+        for r, q in zip(rounds, qualities):
+            b = min(
+                (r["begin_ts"] - lo) * args.buckets // span, args.buckets - 1
+            )
+            sums[b] += q
+            counts[b] += 1
+        print("bucket_start_ts,rounds,avg_quality")
+        for b in range(args.buckets):
+            start = lo + span * b // args.buckets
+            avg = sums[b] / counts[b] if counts[b] else 0.0
+            print(f"{start},{counts[b]},{avg:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
